@@ -1,0 +1,36 @@
+"""F3a -- Fig. 3a: CDF of pairwise attack similarity.
+
+Computes the pairwise Jaccard similarity of alert sets across all
+incidents of the corpus and the resulting CDF, and checks the paper's
+headline claim: more than 95 % of attack pairs share at most 33 % of
+their attack-indicative alerts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    PAPER_FRACTION_BELOW,
+    PAPER_SIMILARITY_THRESHOLD,
+    corpus_similarity_study,
+)
+
+
+def test_fig3a_attack_similarity_cdf(benchmark, corpus):
+    result = benchmark(lambda: corpus_similarity_study(corpus))
+
+    print("\nFig. 3a: pairwise attack similarity")
+    print(f"  attacks compared: {result.num_attacks}")
+    print(f"  mean similarity : {result.mean_similarity:.3f}")
+    print(f"  median          : {result.median_similarity:.3f}")
+    print(f"  P(similarity <= {PAPER_SIMILARITY_THRESHOLD:.2f}) = "
+          f"{result.fraction_below_threshold:.3f}  (paper: > {PAPER_FRACTION_BELOW})")
+    # A few CDF points for the plotted curve.
+    for threshold in (0.1, 0.2, 0.33, 0.5, 0.8):
+        print(f"    CDF({threshold:.2f}) = {result.cdf_at(threshold):.3f}")
+
+    assert result.num_attacks == len(corpus)
+    assert result.fraction_below_threshold >= PAPER_FRACTION_BELOW
+    assert np.all(np.diff(result.cdf_fractions) >= 0)
+    assert result.cdf_at(1.0) == 1.0

@@ -1,0 +1,35 @@
+"""F3b -- Fig. 3b: frequency of the common alert sequences S1..S43.
+
+Mines the corpus for the recurring alert-sequence catalogue and checks
+the published properties: 43 patterns, the most frequent seen 14 times,
+lengths between two and fourteen alerts, and the 60.08 % prevalence of
+the download/compile/erase motif.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import PAPER_MAX_FREQUENCY, PAPER_NUM_PATTERNS, catalogue_frequency_study
+from repro.incidents import DEFAULT_CATALOGUE, download_compile_erase_prevalence
+
+
+def test_fig3b_common_sequence_frequencies(benchmark, corpus):
+    result = benchmark(lambda: catalogue_frequency_study(corpus, DEFAULT_CATALOGUE))
+    counts = result.counts_in_order(DEFAULT_CATALOGUE)
+    prevalence = download_compile_erase_prevalence(corpus.alert_name_sequences())
+
+    print("\nFig. 3b: count of common alert sequences")
+    print(f"  patterns: {len(result.histogram)} (paper: {PAPER_NUM_PATTERNS})")
+    print(f"  most frequent: {result.most_frequent_pattern} seen {result.max_frequency} times "
+          f"(paper: S1, {PAPER_MAX_FREQUENCY})")
+    print(f"  length range: {result.length_range} (paper: 2-14)")
+    print(f"  download/compile/erase prevalence: {prevalence * 100:.2f}% (paper: 60.08%)")
+    bars = " ".join(str(c) for c in counts[:20])
+    print(f"  first 20 bar heights: {bars}")
+
+    assert len(result.histogram) == PAPER_NUM_PATTERNS
+    assert result.max_frequency == PAPER_MAX_FREQUENCY
+    assert result.most_frequent_pattern == "S1"
+    assert result.length_range == (2, 14)
+    assert abs(prevalence - 0.6008) < 0.02
+    # Every pattern in the catalogue is represented at least once.
+    assert min(counts) >= 1

@@ -1,0 +1,78 @@
+"""C1 -- model comparison on the testbed: factor graph vs. baselines.
+
+The testbed exists to evaluate preemption models against replayed
+traffic (§IV: rule-based detector, factor-graph detector).  This
+benchmark trains on the chronologically earlier 70 % of the corpus and
+evaluates every model on the later 30 % plus benign traffic -- the
+deployment setting, where models trained on past incidents must catch
+present-day attacks.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AttackTagger,
+    CriticalAlertDetector,
+    EvaluationExample,
+    NaiveBayesDetector,
+    RuleBasedDetector,
+    compare_detectors,
+    label_sequence_from_stages,
+    train_from_incidents,
+)
+from repro.incidents import DEFAULT_CATALOGUE
+
+
+def test_model_comparison_on_held_out_incidents(benchmark, corpus, benign_sequences):
+    train_incidents, test_incidents = corpus.chronological_split(0.7)
+    train_benign = benign_sequences[:120]
+    test_benign = benign_sequences[120:]
+
+    parameters = train_from_incidents(
+        [i.sequence for i in train_incidents],
+        train_benign,
+        patterns=list(DEFAULT_CATALOGUE),
+    )
+    naive_bayes = NaiveBayesDetector(detection_log_odds=2.0)
+    naive_bayes.fit(
+        [label_sequence_from_stages(i.sequence, is_attack=True) for i in train_incidents]
+        + [label_sequence_from_stages(s, is_attack=False) for s in train_benign]
+    )
+
+    examples = [
+        EvaluationExample(i.sequence, True, i.incident_id) for i in test_incidents
+    ] + [
+        EvaluationExample(s, False, f"benign-{idx}") for idx, s in enumerate(test_benign)
+    ]
+
+    detectors = {
+        "factor_graph": AttackTagger(parameters, patterns=list(DEFAULT_CATALOGUE)),
+        "rule_based": RuleBasedDetector(),
+        "naive_bayes": naive_bayes,
+        "critical_only": CriticalAlertDetector(),
+    }
+
+    table = benchmark.pedantic(
+        lambda: compare_detectors(detectors, examples), rounds=1, iterations=1
+    )
+
+    print("\nModel comparison (train: 2000-era 70%, test: later 30% + benign)")
+    print(f"  {'model':<14} {'recall':>7} {'precision':>10} {'fpr':>6} {'preempt':>8} {'f1':>6}")
+    for name, row in table.items():
+        print(f"  {name:<14} {row['recall']:>7.3f} {row['precision']:>10.3f} "
+              f"{row['false_positive_rate']:>6.3f} {row['preemption_rate']:>8.3f} {row['f1']:>6.3f}")
+
+    fg = table["factor_graph"]
+    # The factor-graph model detects nearly everything and preempts most of it.
+    assert fg["recall"] > 0.9
+    assert fg["preemption_rate"] > 0.6
+    assert fg["false_positive_rate"] <= 0.2
+    # It preempts far more than the detectors the paper compares against
+    # (rule-based and critical-alert triage).  The naive-Bayes bag-of-alerts
+    # baseline is this repo's own additional reference point; on sequence-level
+    # preemption it is competitive, which we report rather than assert away.
+    for baseline in ("rule_based", "critical_only"):
+        assert fg["preemption_rate"] >= table[baseline]["preemption_rate"] + 0.3
+    assert abs(fg["preemption_rate"] - table["naive_bayes"]["preemption_rate"]) < 0.1
+    # The critical-only strawman cannot preempt.
+    assert table["critical_only"]["preemption_rate"] <= 0.05

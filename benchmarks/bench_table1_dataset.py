@@ -1,0 +1,28 @@
+"""T1 -- Table I: overview of the security-incident dataset.
+
+Regenerates the corpus-level bookkeeping of Table I (total raw alerts,
+filtered alerts, number of incidents, archive size, study period) from
+the synthetic corpus and checks each row against the published value.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_longitudinal_study
+
+
+def test_table1_dataset_overview(benchmark, corpus, generator):
+    report = benchmark(lambda: run_longitudinal_study(corpus, generator=generator))
+    stats = report.corpus_stats
+
+    print("\nTable I: Overview of the security incidents dataset")
+    for label, value in stats.as_table():
+        print(f"  {label:<45} {value}")
+
+    # Paper: 25 M raw alerts, 191 K filtered, >200 incidents, 30 TB, 2000-2024.
+    assert 20e6 <= stats.total_raw_alerts <= 30e6
+    assert 150e3 <= stats.filtered_alerts <= 230e3
+    assert stats.num_incidents > 200
+    assert 25 <= stats.data_size_terabytes <= 35
+    assert (stats.start_year, stats.end_year) == (2000, 2024)
+    # The scan filter is what produces the reduction (factor >> 10).
+    assert stats.reduction_factor > 50

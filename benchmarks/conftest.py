@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The
+synthetic corpus, trained model parameters, and the evaluation example
+sets are built once per session; the benchmarked callables then measure
+the cost of the analysis / detection step itself and the test body
+checks that the regenerated numbers have the paper's shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DEFAULT_VOCABULARY, EvaluationExample, train_from_incidents
+from repro.incidents import DEFAULT_CATALOGUE, IncidentGenerator
+from repro.testbed import Honeypot, build_default_topology
+
+
+@pytest.fixture(scope="session")
+def generator():
+    """Seeded corpus generator (seed 7 is the release seed)."""
+    return IncidentGenerator(seed=7)
+
+
+@pytest.fixture(scope="session")
+def corpus(generator):
+    """The default 228-incident corpus used by every analysis benchmark."""
+    return generator.generate_corpus()
+
+
+@pytest.fixture(scope="session")
+def benign_sequences():
+    """Benign per-entity sequences (evaluation negatives)."""
+    return IncidentGenerator(seed=99).generate_benign_sequences(200)
+
+
+@pytest.fixture(scope="session")
+def trained_parameters(corpus, benign_sequences):
+    """Factor-graph parameters trained on the full corpus."""
+    return train_from_incidents(
+        corpus.attack_sequences(),
+        benign_sequences,
+        vocabulary=DEFAULT_VOCABULARY,
+        patterns=list(DEFAULT_CATALOGUE),
+    )
+
+
+@pytest.fixture(scope="session")
+def evaluation_examples(corpus, benign_sequences):
+    """Sequence-level evaluation set: every incident plus benign traffic."""
+    examples = [
+        EvaluationExample(incident.sequence, True, incident.incident_id)
+        for incident in corpus
+    ]
+    examples.extend(
+        EvaluationExample(sequence, False, f"benign-{index}")
+        for index, sequence in enumerate(benign_sequences)
+    )
+    return examples
+
+
+@pytest.fixture(scope="session")
+def topology():
+    """Simulated cluster topology for the ransomware case study."""
+    return build_default_topology()
+
+
+@pytest.fixture()
+def honeypot():
+    """Fresh honeypot per benchmark (scenarios compromise it)."""
+    return Honeypot()

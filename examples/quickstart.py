@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: generate the corpus, train the preemption model, catch an attack.
+
+This walks the three things a new user of the library does first:
+
+1. generate the synthetic longitudinal incident corpus and look at the
+   Table-I-style statistics,
+2. train the factor-graph preemption model (ATTACKTAGGER) on past
+   incidents plus benign traffic,
+3. stream a fresh multi-stage attack through the detector and see it
+   tagged malicious *before* the damage-stage alerts.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_longitudinal_study
+from repro.attacks import StolenCredentialScenario, ReplayEngine
+from repro.core import AttackTagger, DEFAULT_VOCABULARY, evaluate_preemption, train_from_incidents
+from repro.core.sequences import AlertSequence
+from repro.incidents import DEFAULT_CATALOGUE, IncidentGenerator
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The longitudinal dataset (synthetic stand-in for NCSA's archive).
+    # ------------------------------------------------------------------
+    generator = IncidentGenerator(seed=7)
+    corpus = generator.generate_corpus()
+    report = run_longitudinal_study(corpus, generator=generator)
+    print("=== Longitudinal measurement study (paper vs. this run) ===")
+    print(report.render_text())
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Train the factor-graph preemption model on the past incidents.
+    # ------------------------------------------------------------------
+    benign = generator.generate_benign_sequences(150)
+    parameters = train_from_incidents(
+        corpus.attack_sequences(),
+        benign,
+        vocabulary=DEFAULT_VOCABULARY,
+        patterns=list(DEFAULT_CATALOGUE),
+    )
+    tagger = AttackTagger(parameters, patterns=list(DEFAULT_CATALOGUE))
+    print(f"Trained on {len(corpus)} incidents and {len(benign)} benign sequences; "
+          f"{len(parameters.pattern_weights)} catalogue patterns carry positive weight.")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Stream a fresh attack (the 2002-era rootkit chain) through it.
+    # ------------------------------------------------------------------
+    scenario = StolenCredentialScenario(victim_user="alice")
+    attack = scenario.run(start_time=0.0)
+    replay = ReplayEngine().replay_into_detector(attack.alerts, tagger)
+    detection = replay.detections[0]
+    sequence = AlertSequence.from_alerts(attack.alerts)
+    outcome = evaluate_preemption(sequence, detection)
+
+    print("=== Streaming detection of a stolen-credential rootkit chain ===")
+    for line in attack.context.notes:
+        print(f"  attacker: {line}")
+    print()
+    print(f"  detection trigger : {detection.trigger.name} (alert #{detection.alert_index + 1} "
+          f"of {len(sequence)})")
+    print(f"  confidence        : {detection.confidence:.2f}")
+    print(f"  matched patterns  : {', '.join(detection.matched_patterns) or '(partial matches only)'}")
+    print(f"  preempted?        : {outcome.preempted} "
+          f"(lead time {outcome.lead_time_seconds / 60:.1f} minutes before damage)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The §V case study: a ransomware family is captured and preempted.
+
+Reproduces the paper's headline result end to end:
+
+* the honeypot (16 entry points on the testbed /24 with advertised
+  PostgreSQL credentials) attracts the ransomware,
+* the full kill chain runs inside the isolated container -- port
+  probing, default-credential entry, ``SHOW server_version_num``, ELF
+  staging in a ``largeobject``, ``/tmp/kp`` drop, second-stage
+  download, C2 beacon (dropped by the egress sandbox), SSH-key lateral
+  movement, ransom note and log wiping,
+* the factor-graph model detects the entity during staging/C2 and the
+  response path notifies operators and null-routes the attacker,
+* twelve days later the equivalent production incident is replayed,
+  demonstrating the 12-day early warning.
+
+Run with:  python examples/ransomware_case_study.py
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+from repro.attacks import RansomwareScenario, ReplayEngine, TWELVE_DAYS_SECONDS, alerts_to_names
+from repro.core import AttackTagger, evaluate_preemption, train_from_incidents
+from repro.core.sequences import AlertSequence
+from repro.incidents import DEFAULT_CATALOGUE, IncidentGenerator
+from repro.testbed import Honeypot, TestbedPipeline, build_default_topology
+
+
+def main() -> None:
+    # Train the deployed model on the historical corpus.
+    generator = IncidentGenerator(seed=7)
+    corpus = generator.generate_corpus()
+    parameters = train_from_incidents(
+        corpus.attack_sequences(),
+        generator.generate_benign_sequences(150),
+        patterns=list(DEFAULT_CATALOGUE),
+    )
+
+    # Deploy the testbed: honeypot + pipeline + trained detector.
+    honeypot = Honeypot()
+    topology = build_default_topology()
+    pipeline = TestbedPipeline(
+        detectors={"factor_graph": AttackTagger(parameters, patterns=list(DEFAULT_CATALOGUE))},
+        honeypot=honeypot,
+    )
+
+    # October 30: the ransomware enters the honeypot.
+    october_30 = dt.datetime(2023, 10, 30, 3, 44, tzinfo=dt.timezone.utc).timestamp()
+    scenario = RansomwareScenario(honeypot, topology=topology)
+    capture = scenario.run_honeypot_capture(start_time=october_30 - 3 * 86_400)
+
+    print("=== Attack script observed in the honeypot ===")
+    for note in capture.context.notes:
+        print(f"  {note}")
+    print()
+
+    detections = pipeline.ingest_alerts(capture.alerts)
+    detection = detections[0]
+    sequence = AlertSequence.from_alerts(capture.alerts)
+    outcome = evaluate_preemption(sequence, detection)
+
+    print("=== Detection and response ===")
+    print(f"  entity tagged malicious : {detection.entity}")
+    print(f"  triggering alert        : {detection.trigger.name} "
+          f"(confidence {detection.confidence:.2f})")
+    print(f"  preempted before damage : {outcome.preempted}")
+    for timestamp, summary in pipeline.responder.notification_timeline():
+        stamp = dt.datetime.fromtimestamp(timestamp, tz=dt.timezone.utc)
+        print(f"  operator notification   : {stamp:%Y-%m-%d %H:%M} UTC -- {summary}")
+    blocked = [b.source_ip for b in pipeline.router.history]
+    print(f"  null-routed addresses   : {', '.join(sorted(set(blocked)))}")
+    print(f"  C2 egress contained     : "
+          f"{len(honeypot.egress.dropped_attempts())} outbound attempt(s) dropped")
+    print()
+
+    # November 10 (+12 days): the same family hits a production database.
+    production = scenario.run_production_incident(
+        start_time=capture.alerts[0].timestamp + TWELVE_DAYS_SECONDS
+    )
+    damage = [a for a in production.alerts if a.name == "alert_ransom_note_created"][0]
+    lead_days = (damage.timestamp - detection.timestamp) / 86_400
+    print("=== The production incident, twelve days later ===")
+    print(f"  production damage at    : "
+          f"{dt.datetime.fromtimestamp(damage.timestamp, tz=dt.timezone.utc):%Y-%m-%d %H:%M} UTC")
+    print(f"  early-warning lead      : {lead_days:.1f} days (paper: 12 days)")
+    print()
+    print("Alert sequence of the captured attack:")
+    print("  " + " -> ".join(alerts_to_names(capture.alerts)[:12]) + " -> ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment's setuptools predates PEP-660 editable installs (no
+``wheel`` package is available offline), so ``pip install -e .`` falls
+back to ``setup.py develop`` via ``--no-use-pep517``.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

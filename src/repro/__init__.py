@@ -1,0 +1,37 @@
+"""repro -- reproduction of the SC'24 security-testbed paper.
+
+The package reproduces, as a laptop-scale simulation, the system
+described in "Security Testbed for Preempting Attacks against
+Supercomputing Infrastructure" (Cao, Kalbarczyk, Iyer; NCSA/UIUC):
+
+* :mod:`repro.core` -- the factor-graph preemption model
+  (ATTACKTAGGER), baselines, and evaluation machinery.
+* :mod:`repro.telemetry` -- Zeek / syslog / auditd / osquery log
+  models, the raw-log-to-symbolic-alert normaliser, scan filtering and
+  ground-truth annotation.
+* :mod:`repro.incidents` -- the longitudinal incident corpus
+  (synthetic stand-in for NCSA's 2000-2024 archive) and the S1..S43
+  attack-pattern catalogue.
+* :mod:`repro.testbed` -- the testbed architecture: honeypot,
+  vulnerable services, VRT, black-hole router, isolation, and the
+  end-to-end alert pipeline.
+* :mod:`repro.attacks` -- attack emulation (mass scanners, brute force,
+  the PostgreSQL ransomware family) and incident replay.
+* :mod:`repro.viz` -- attack-graph construction, force-directed layout,
+  and export (the Fig. 1 visualisation).
+* :mod:`repro.analysis` -- the longitudinal measurement study
+  (Table I, Fig. 2, Fig. 3, and the insights).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "telemetry",
+    "incidents",
+    "testbed",
+    "attacks",
+    "viz",
+    "analysis",
+    "__version__",
+]

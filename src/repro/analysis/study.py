@@ -1,0 +1,110 @@
+"""The full longitudinal measurement study (Table I + all insights).
+
+:func:`run_longitudinal_study` orchestrates every individual analysis
+over one corpus and returns a single report object whose fields map
+one-to-one onto the paper's published statistics, so the Table I
+benchmark, EXPERIMENTS.md, and the quickstart example all read from the
+same place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..core.alerts import AlertVocabulary, DEFAULT_VOCABULARY
+from ..incidents.corpus import CorpusStats, IncidentCorpus
+from ..incidents.generator import IncidentGenerator
+from ..incidents.patterns import DEFAULT_CATALOGUE, PatternCatalogue, download_compile_erase_prevalence
+from .criticality import CriticalityStudyResult, criticality_study
+from .dailystats import DailyVolumeStats, summarize_daily_volumes
+from .lcs_study import LCSStudyResult, catalogue_frequency_study
+from .similarity import SimilarityStudyResult, corpus_similarity_study
+from .timing import TimingStudyResult, timing_study
+
+
+@dataclasses.dataclass
+class LongitudinalStudyReport:
+    """All measured quantities of the §II study."""
+
+    corpus_stats: CorpusStats
+    similarity: SimilarityStudyResult
+    patterns: LCSStudyResult
+    criticality: CriticalityStudyResult
+    timing: TimingStudyResult
+    daily_volumes: Optional[DailyVolumeStats]
+    motif_prevalence: float
+    sequence_length_histogram: dict[int, int]
+
+    # ------------------------------------------------------------------
+    def paper_comparison(self) -> list[tuple[str, str, str]]:
+        """(quantity, paper value, measured value) rows for EXPERIMENTS.md."""
+        stats = self.corpus_stats
+        rows = [
+            ("Total alerts related to successful attacks", "25 M",
+             f"{stats.total_raw_alerts / 1e6:.1f} M"),
+            ("Alerts after being filtered", "191 K", f"{stats.filtered_alerts / 1e3:.0f} K"),
+            ("Successful attacks", "more than 200 incidents", f"{stats.num_incidents} incidents"),
+            ("Data size", "30 TB", f"{stats.data_size_terabytes:.0f} TB"),
+            ("Time period", "2000-2024", f"{stats.start_year}-{stats.end_year}"),
+            ("Attack pairs with <=33% similar alerts", ">95%",
+             f"{self.similarity.fraction_below_threshold * 100:.1f}%"),
+            ("Recurring alert sequences", "43 (S1..S43)", f"{len(self.patterns.histogram)}"),
+            ("Most frequent pattern count", "14", f"{self.patterns.max_frequency}"),
+            ("Pattern length range", "2-14",
+             f"{self.patterns.length_range[0]}-{self.patterns.length_range[1]}"),
+            ("download/compile/erase prevalence", "60.08%", f"{self.motif_prevalence * 100:.2f}%"),
+            ("Unique critical alert types", "19", f"{self.criticality.unique_critical_types}"),
+            ("Critical alert occurrences", "98", f"{self.criticality.total_occurrences}"),
+        ]
+        if self.daily_volumes is not None:
+            rows.append(
+                ("Daily alert volume (mean ± std)", "94,238 ± 23,547",
+                 f"{self.daily_volumes.mean:,.0f} ± {self.daily_volumes.std:,.0f}")
+            )
+        return rows
+
+    def render_text(self) -> str:
+        """Human-readable rendering of the comparison table."""
+        rows = self.paper_comparison()
+        width = max(len(r[0]) for r in rows)
+        lines = [f"{'Quantity'.ljust(width)}  {'Paper':>22}  {'Measured':>22}"]
+        lines.append("-" * (width + 48))
+        for quantity, paper, measured in rows:
+            lines.append(f"{quantity.ljust(width)}  {paper:>22}  {measured:>22}")
+        return "\n".join(lines)
+
+
+def run_longitudinal_study(
+    corpus: IncidentCorpus,
+    *,
+    vocabulary: Optional[AlertVocabulary] = None,
+    catalogue: PatternCatalogue = DEFAULT_CATALOGUE,
+    generator: Optional[IncidentGenerator] = None,
+    sample_month_days: int = 60,
+) -> LongitudinalStudyReport:
+    """Run every analysis of the measurement study over one corpus.
+
+    ``generator`` (when provided) supplies the daily-volume model of
+    Fig. 2; without it the daily-volume section is omitted (volumes are
+    a property of the monitoring deployment, not of the curated
+    incidents).
+    """
+    vocab = vocabulary or DEFAULT_VOCABULARY
+    daily: Optional[DailyVolumeStats] = None
+    if generator is not None:
+        breakdown = generator.daily_volume_breakdown(sample_month_days)
+        daily = summarize_daily_volumes(breakdown["total"], scan_volumes=breakdown["scans"])
+    return LongitudinalStudyReport(
+        corpus_stats=corpus.stats(),
+        similarity=corpus_similarity_study(corpus, vocabulary=vocab),
+        patterns=catalogue_frequency_study(corpus, catalogue),
+        criticality=criticality_study(corpus, vocab),
+        timing=timing_study(corpus, vocab),
+        daily_volumes=daily,
+        motif_prevalence=download_compile_erase_prevalence(corpus.alert_name_sequences()),
+        sequence_length_histogram=corpus.sequence_length_histogram(),
+    )
+
+
+__all__ = ["LongitudinalStudyReport", "run_longitudinal_study"]

@@ -1,0 +1,80 @@
+"""Attack emulation and replay.
+
+Scripted, deterministic attack scenarios that drive the honeypot and
+produce the alert streams the detectors are evaluated on: mass
+scanners, SSH brute force, stolen-credential chains, and the PostgreSQL
+ransomware family of the §V case study, plus a replay engine for
+running corpus incidents through detectors and the full pipeline.
+"""
+
+from .base import AttackContext, AttackScenario, AttackStep, ScenarioResult
+from .bruteforce import (
+    BruteForceEmulator,
+    BruteForceResult,
+    DEFAULT_PASSWORDS,
+    DEFAULT_USERNAMES,
+    password_spray_alerts,
+)
+from .credential import GhostAccountScenario, StolenCredentialScenario
+from .lateral import (
+    InfectionEvent,
+    LATERAL_MOVEMENT_SCRIPT,
+    LateralMovementEngine,
+    LateralMovementResult,
+)
+from .ransomware import (
+    C2_SERVER,
+    INITIAL_ATTACKER,
+    KNOWN_VARIANTS,
+    PAYLOAD_SERVER,
+    RansomwareConfig,
+    RansomwareScenario,
+    RansomwareVariant,
+    SECOND_STAGE_URLS,
+    TWELVE_DAYS_SECONDS,
+    alerts_to_names,
+    run_variant,
+)
+from .replay import ReplayEngine, ReplayEvent, ReplayResult
+from .scanner import (
+    MassScanEmulator,
+    PAPER_FIGURE_SAMPLE,
+    PAPER_SCANS_PER_HOUR,
+    ScannerProfile,
+)
+
+__all__ = [
+    "AttackContext",
+    "AttackStep",
+    "AttackScenario",
+    "ScenarioResult",
+    "MassScanEmulator",
+    "ScannerProfile",
+    "PAPER_SCANS_PER_HOUR",
+    "PAPER_FIGURE_SAMPLE",
+    "BruteForceEmulator",
+    "BruteForceResult",
+    "DEFAULT_USERNAMES",
+    "DEFAULT_PASSWORDS",
+    "password_spray_alerts",
+    "StolenCredentialScenario",
+    "GhostAccountScenario",
+    "LateralMovementEngine",
+    "LateralMovementResult",
+    "InfectionEvent",
+    "LATERAL_MOVEMENT_SCRIPT",
+    "RansomwareScenario",
+    "RansomwareConfig",
+    "RansomwareVariant",
+    "KNOWN_VARIANTS",
+    "run_variant",
+    "alerts_to_names",
+    "PAYLOAD_SERVER",
+    "C2_SERVER",
+    "INITIAL_ATTACKER",
+    "SECOND_STAGE_URLS",
+    "TWELVE_DAYS_SECONDS",
+    "ReplayEngine",
+    "ReplayEvent",
+    "ReplayResult",
+]

@@ -1,0 +1,168 @@
+"""Attack-scenario framework.
+
+Attack emulation in the testbed is scripted: a scenario is a sequence
+of timed steps, each of which drives honeypot services / monitors and
+thereby produces the raw records and symbolic alerts the pipeline sees.
+The framework keeps scenarios deterministic (explicit RNG), replayable,
+and introspectable (each step records what it did), which is what the
+Fig. 5 case-study benchmark and the tests rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.alerts import Alert
+
+
+@dataclasses.dataclass
+class AttackContext:
+    """Mutable state shared by the steps of one scenario run.
+
+    Attributes
+    ----------
+    clock:
+        Current scenario time (POSIX seconds); steps advance it.
+    attacker_ip:
+        The external address the attacker operates from.
+    entity:
+        The entity (user account or host) the attack is attributed to.
+    rng:
+        Scenario-local random generator.
+    alerts:
+        Symbolic alerts the scenario produced directly (in addition to
+        whatever the honeypot monitors record as raw logs).
+    notes:
+        Free-form trace of what each step did (the "attack script").
+    artifacts:
+        Arbitrary step outputs keyed by name (stolen keys, payload ids,
+        dropped file paths, ...), consumed by later steps.
+    """
+
+    clock: float
+    attacker_ip: str
+    entity: str
+    rng: np.random.Generator
+    alerts: list[Alert] = dataclasses.field(default_factory=list)
+    notes: list[str] = dataclasses.field(default_factory=list)
+    artifacts: dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def advance(self, seconds: float) -> float:
+        """Advance the scenario clock and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot move the clock backwards")
+        self.clock += seconds
+        return self.clock
+
+    def emit_alert(self, name: str, *, host: str = "", **attributes) -> Alert:
+        """Emit a symbolic alert attributed to the scenario's entity."""
+        alert = Alert(
+            timestamp=self.clock,
+            name=name,
+            entity=self.entity,
+            source_ip=self.attacker_ip,
+            host=host,
+            monitor=str(attributes.pop("monitor", "scenario")),
+            attributes=attributes,
+        )
+        self.alerts.append(alert)
+        return alert
+
+    def note(self, message: str) -> None:
+        """Record a human-readable trace line."""
+        self.notes.append(f"t={self.clock:.0f}s {message}")
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackStep:
+    """One step of a scenario: a delay followed by an action."""
+
+    name: str
+    delay_seconds: float
+    action: Callable[[AttackContext], None]
+    description: str = ""
+
+
+@dataclasses.dataclass
+class ScenarioResult:
+    """Everything a completed scenario run produced."""
+
+    name: str
+    context: AttackContext
+    executed_steps: list[str]
+
+    @property
+    def alerts(self) -> list[Alert]:
+        """Alerts emitted directly by the scenario, time-ordered."""
+        return sorted(self.context.alerts, key=lambda a: a.timestamp)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Wall-clock span of the scenario."""
+        if not self.context.alerts:
+            return 0.0
+        times = [a.timestamp for a in self.context.alerts]
+        return max(times) - min(times)
+
+
+class AttackScenario:
+    """Base class: a named, ordered list of steps plus a runner."""
+
+    name: str = "attack_scenario"
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    # -- to be provided by subclasses ----------------------------------------
+    def build_steps(self, context: AttackContext) -> Sequence[AttackStep]:
+        """Return the ordered steps of the scenario."""
+        raise NotImplementedError
+
+    def initial_context(
+        self,
+        *,
+        start_time: float,
+        attacker_ip: str,
+        entity: Optional[str] = None,
+    ) -> AttackContext:
+        """Build the initial context for a run."""
+        return AttackContext(
+            clock=float(start_time),
+            attacker_ip=attacker_ip,
+            entity=entity or f"host:{self.name}",
+            rng=np.random.default_rng(self.seed),
+        )
+
+    # -- runner ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        start_time: float = 0.0,
+        attacker_ip: str = "198.51.100.7",
+        entity: Optional[str] = None,
+        stop_after: Optional[str] = None,
+    ) -> ScenarioResult:
+        """Execute the scenario.
+
+        ``stop_after`` truncates the run after the named step -- used to
+        model attacks interrupted by preemption (the response path
+        blocked the attacker before the remaining steps could execute).
+        """
+        context = self.initial_context(
+            start_time=start_time, attacker_ip=attacker_ip, entity=entity
+        )
+        executed: list[str] = []
+        for step in self.build_steps(context):
+            context.advance(step.delay_seconds)
+            step.action(context)
+            executed.append(step.name)
+            if stop_after is not None and step.name == stop_after:
+                context.note(f"scenario interrupted after step {step.name!r}")
+                break
+        return ScenarioResult(name=self.name, context=context, executed_steps=executed)
+
+
+__all__ = ["AttackContext", "AttackStep", "ScenarioResult", "AttackScenario"]

@@ -1,0 +1,152 @@
+"""SSH brute-force and password-spray emulation.
+
+Brute-force scanning is the single most common attack attempt against
+the centre (and the subject of NCSA's earlier CAUDIT honeypot work the
+testbed succeeds).  The emulator drives the honeypot's SSH bait service
+with configurable dictionaries and rates, producing the failed-login
+syslog records, Zeek notices and (rarely) a successful weak-credential
+login that hands off to a post-exploitation scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.alerts import Alert
+from ..testbed.services import SSHHoneypotService
+
+#: A small, realistic credential dictionary (usernames x passwords).
+DEFAULT_USERNAMES = ("root", "admin", "test", "oracle", "postgres", "ubuntu", "guest")
+DEFAULT_PASSWORDS = ("123456", "password", "admin", "root", "qwerty", "letmein", "admin-00")
+
+
+@dataclasses.dataclass
+class BruteForceResult:
+    """Outcome of one brute-force campaign."""
+
+    attempts: int
+    successes: list[tuple[str, str]]
+    alerts: list[Alert]
+    duration_seconds: float
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether any credential pair worked."""
+        return bool(self.successes)
+
+
+class BruteForceEmulator:
+    """Drives dictionary attacks against an SSH honeypot service."""
+
+    def __init__(
+        self,
+        *,
+        usernames: Sequence[str] = DEFAULT_USERNAMES,
+        passwords: Sequence[str] = DEFAULT_PASSWORDS,
+        attempts_per_minute: float = 30.0,
+        seed: int = 5,
+    ) -> None:
+        if attempts_per_minute <= 0:
+            raise ValueError("attempts_per_minute must be positive")
+        self.usernames = tuple(usernames)
+        self.passwords = tuple(passwords)
+        self.attempts_per_minute = float(attempts_per_minute)
+        self.rng = np.random.default_rng(seed)
+
+    def run(
+        self,
+        service: SSHHoneypotService,
+        *,
+        attacker_ip: str,
+        start_time: float = 0.0,
+        max_attempts: Optional[int] = None,
+        stop_on_success: bool = True,
+    ) -> BruteForceResult:
+        """Run the dictionary against one SSH service."""
+        pairs = [(u, p) for u in self.usernames for p in self.passwords]
+        self.rng.shuffle(pairs)
+        if max_attempts is not None:
+            pairs = pairs[:max_attempts]
+        clock = float(start_time)
+        successes: list[tuple[str, str]] = []
+        alerts: list[Alert] = []
+        attempts = 0
+        gap = 60.0 / self.attempts_per_minute
+        for username, password in pairs:
+            clock += float(self.rng.exponential(gap))
+            attempts += 1
+            ok = service.attempt_login(clock, attacker_ip, username, password)
+            alerts.append(
+                Alert(
+                    timestamp=clock,
+                    name="alert_bruteforce_ssh",
+                    entity=f"host:{service.host}",
+                    source_ip=attacker_ip,
+                    host=service.host,
+                    monitor="syslog",
+                    attributes={"username": username},
+                )
+            )
+            if ok:
+                successes.append((username, password))
+                alerts.append(
+                    Alert(
+                        timestamp=clock,
+                        name="alert_login_stolen_credential",
+                        entity=f"user:{username}",
+                        source_ip=attacker_ip,
+                        host=service.host,
+                        monitor="syslog",
+                        attributes={"username": username},
+                    )
+                )
+                if stop_on_success:
+                    break
+        return BruteForceResult(
+            attempts=attempts,
+            successes=successes,
+            alerts=alerts,
+            duration_seconds=clock - start_time,
+        )
+
+
+def password_spray_alerts(
+    targets: Sequence[str],
+    *,
+    attacker_ip: str,
+    start_time: float = 0.0,
+    interval_seconds: float = 1800.0,
+) -> list[Alert]:
+    """Low-and-slow password spray: one attempt per target per interval.
+
+    Unlike brute force, spraying stays under per-account lockout
+    thresholds; it surfaces as the ``alert_password_spray`` auxiliary
+    alert rather than a failure burst.
+    """
+    alerts = []
+    clock = start_time
+    for target in targets:
+        alerts.append(
+            Alert(
+                timestamp=clock,
+                name="alert_password_spray",
+                entity=f"host:{target}",
+                source_ip=attacker_ip,
+                host=target,
+                monitor="zeek",
+            )
+        )
+        clock += interval_seconds
+    return alerts
+
+
+__all__ = [
+    "DEFAULT_USERNAMES",
+    "DEFAULT_PASSWORDS",
+    "BruteForceResult",
+    "BruteForceEmulator",
+    "password_spray_alerts",
+]

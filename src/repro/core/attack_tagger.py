@@ -1,0 +1,300 @@
+"""Streaming factor-graph detector (the preemption model).
+
+:class:`AttackTagger` is the detector the paper deploys on the testbed.
+It consumes the filtered, normalised alert stream produced by the
+telemetry pipeline, maintains one alert sequence per monitored entity
+(user account or host, following the attribution rules of §III.B), and
+after every alert re-infers the entity's hidden state trajectory with
+the chain factor graph built from:
+
+* observation factors (``log P(alert | state)``),
+* transition factors (state persistence),
+* pattern factors for the S1..S43 catalogue of recurring attack
+  sequences mined from past incidents.
+
+The entity is *detected* the first time the maximum-a-posteriori state
+trajectory ends in the malicious state with sufficient posterior
+confidence.  If that happens before the first damage-stage alert, the
+attack was *preempted* (see :mod:`repro.core.preemption`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .alerts import Alert, AlertVocabulary, DEFAULT_VOCABULARY
+from .factor_graph import chain_map_decode, chain_marginals
+from .factors import FactorParameters, default_parameters, observation_log_for_sequence
+from .sequences import AlertSequence, matched_prefix_length
+from .states import NUM_STATES, HiddenState
+
+
+@dataclasses.dataclass(frozen=True)
+class PatternSpec:
+    """Minimal view of an attack pattern the detector needs.
+
+    ``repro.incidents.patterns.AttackPattern`` provides ``name`` and
+    ``names`` attributes and can be passed directly; this dataclass
+    exists so the core package does not depend on the incidents
+    package.
+    """
+
+    name: str
+    names: tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Detection:
+    """A detection decision emitted by :class:`AttackTagger`."""
+
+    entity: str
+    timestamp: float
+    alert_index: int
+    trigger: Alert
+    state: HiddenState
+    confidence: float
+    matched_patterns: tuple[str, ...] = ()
+    state_trajectory: tuple[int, ...] = ()
+
+    @property
+    def is_malicious(self) -> bool:
+        """Whether the decision tagged the entity as malicious."""
+        return self.state is HiddenState.MALICIOUS
+
+
+@dataclasses.dataclass
+class EntityTrack:
+    """Per-entity detector state: the observed alerts and cached decode."""
+
+    entity: str
+    alerts: List[Alert] = dataclasses.field(default_factory=list)
+    detected: Optional[Detection] = None
+
+    @property
+    def sequence(self) -> AlertSequence:
+        """Current alert sequence for the entity."""
+        return AlertSequence(tuple(self.alerts))
+
+
+class AttackTagger:
+    """Streaming per-entity preemption detector.
+
+    Parameters
+    ----------
+    parameters:
+        Learned factor parameters; :func:`repro.core.factors
+        .default_parameters` provides an untrained prior-only model.
+    patterns:
+        Catalogue of known attack patterns (objects with ``name`` and
+        ``names``).  Only patterns with a positive weight in
+        ``parameters.pattern_weights`` (or, if empty, all patterns with
+        ``default_pattern_weight``) contribute evidence.
+    detection_threshold:
+        Minimum posterior probability of the malicious state at the
+        final step required to emit a detection.
+    max_window:
+        Maximum number of most-recent alerts kept per entity.  The
+        paper's Insight 2 bounds the useful sequence length; a window
+        also bounds per-alert inference cost in the live pipeline.
+    default_pattern_weight:
+        Weight used for catalogue patterns when the trained parameters
+        carry no pattern weights (the untrained/prior-only deployment).
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[FactorParameters] = None,
+        patterns: Sequence = (),
+        *,
+        detection_threshold: float = 0.5,
+        max_window: int = 64,
+        default_pattern_weight: float = 2.0,
+        vocabulary: Optional[AlertVocabulary] = None,
+    ) -> None:
+        self.vocabulary = vocabulary or (parameters.vocabulary if parameters else DEFAULT_VOCABULARY)
+        self.parameters = parameters or default_parameters(self.vocabulary)
+        self.patterns: list[PatternSpec] = [
+            PatternSpec(name=p.name, names=tuple(p.names)) for p in patterns
+        ]
+        if detection_threshold <= 0.0 or detection_threshold >= 1.0:
+            raise ValueError("detection_threshold must be in (0, 1)")
+        if max_window < 2:
+            raise ValueError("max_window must be at least 2")
+        self.detection_threshold = float(detection_threshold)
+        self.max_window = int(max_window)
+        self.default_pattern_weight = float(default_pattern_weight)
+        self._tracks: Dict[str, EntityTrack] = {}
+        self._detections: List[Detection] = []
+
+    # -- public state ------------------------------------------------------
+    @property
+    def detections(self) -> list[Detection]:
+        """All detections emitted so far, in order."""
+        return list(self._detections)
+
+    def track(self, entity: str) -> EntityTrack:
+        """The per-entity track (created on first use)."""
+        if entity not in self._tracks:
+            self._tracks[entity] = EntityTrack(entity=entity)
+        return self._tracks[entity]
+
+    def entities(self) -> list[str]:
+        """All entities observed so far."""
+        return list(self._tracks)
+
+    def reset(self) -> None:
+        """Forget all per-entity state and past detections."""
+        self._tracks.clear()
+        self._detections.clear()
+
+    def reset_entity(self, entity: str) -> None:
+        """Forget one entity (e.g. after remediation re-images the host)."""
+        self._tracks.pop(entity, None)
+
+    # -- core inference -----------------------------------------------------
+    def _pattern_weight(self, name: str) -> float:
+        if self.parameters.pattern_weights:
+            return self.parameters.pattern_weights.get(name, 0.0)
+        return self.default_pattern_weight
+
+    def _build_unary(self, names: Sequence[str]) -> tuple[np.ndarray, list[str]]:
+        """Per-step log potentials including pattern-factor bonuses.
+
+        The chain is kept exact by folding each (partially) matched
+        pattern's bonus into the malicious-state unary potential of the
+        step at which the match currently ends.
+        """
+        unary = observation_log_for_sequence(self.parameters, names).copy()
+        if unary.shape[0] == 0:
+            return unary, []
+        unary[0] += self.parameters.initial_log
+        matched_names: list[str] = []
+        for pattern in self.patterns:
+            weight = self._pattern_weight(pattern.name)
+            if weight <= 0.0:
+                continue
+            matched = matched_prefix_length(pattern.names, names)
+            if matched == 0:
+                continue
+            bonus = self.parameters.pattern_bonus(matched, len(pattern.names), weight)
+            if bonus <= 0.0:
+                continue
+            # The bonus lands on the step where the matched prefix ends.
+            end_index = self._prefix_end_index(pattern.names[:matched], names)
+            unary[end_index, int(HiddenState.MALICIOUS)] += bonus
+            if matched == len(pattern.names):
+                matched_names.append(pattern.name)
+        return unary, matched_names
+
+    @staticmethod
+    def _prefix_end_index(prefix: Sequence[str], names: Sequence[str]) -> int:
+        """Index in ``names`` where the greedy match of ``prefix`` ends."""
+        position = -1
+        start = 0
+        for symbol in prefix:
+            for idx in range(start, len(names)):
+                if names[idx] == symbol:
+                    position = idx
+                    start = idx + 1
+                    break
+        return max(0, position)
+
+    def infer(self, entity: str) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """Decode the current trajectory for an entity.
+
+        Returns ``(map_states, final_marginal, matched_pattern_names)``
+        where ``map_states`` is the Viterbi state per alert and
+        ``final_marginal`` is the posterior over the entity's current
+        state.
+        """
+        track = self.track(entity)
+        names = [a.name for a in track.alerts]
+        if not names:
+            prior = np.exp(self.parameters.initial_log)
+            return np.zeros(0, dtype=np.int64), prior / prior.sum(), []
+        unary, matched = self._build_unary(names)
+        states = chain_map_decode(unary, self.parameters.transition_log)
+        marginals = chain_marginals(unary, self.parameters.transition_log)
+        return states, marginals[-1], matched
+
+    # -- streaming API ------------------------------------------------------
+    def observe(self, alert: Alert) -> Optional[Detection]:
+        """Consume one alert; return a :class:`Detection` if one fires.
+
+        A detection is emitted at most once per entity (the first time
+        the entity crosses the threshold); subsequent alerts for an
+        already-detected entity are still recorded so the response path
+        can keep building the incident timeline.
+        """
+        track = self.track(alert.entity)
+        track.alerts.append(alert)
+        if len(track.alerts) > self.max_window:
+            del track.alerts[: len(track.alerts) - self.max_window]
+        if track.detected is not None:
+            return None
+        states, final_marginal, matched = self.infer(alert.entity)
+        malicious_probability = float(final_marginal[int(HiddenState.MALICIOUS)])
+        final_state = HiddenState(int(states[-1])) if states.size else HiddenState.BENIGN
+        if final_state is HiddenState.MALICIOUS and malicious_probability >= self.detection_threshold:
+            detection = Detection(
+                entity=alert.entity,
+                timestamp=alert.timestamp,
+                alert_index=len(track.alerts) - 1,
+                trigger=alert,
+                state=final_state,
+                confidence=malicious_probability,
+                matched_patterns=tuple(matched),
+                state_trajectory=tuple(int(s) for s in states),
+            )
+            track.detected = detection
+            self._detections.append(detection)
+            return detection
+        return None
+
+    def observe_many(self, alerts: Iterable[Alert]) -> list[Detection]:
+        """Consume a batch of alerts, returning any detections emitted."""
+        detections: list[Detection] = []
+        for alert in alerts:
+            detection = self.observe(alert)
+            if detection is not None:
+                detections.append(detection)
+        return detections
+
+    def run_sequence(self, sequence: AlertSequence, entity: Optional[str] = None) -> Optional[Detection]:
+        """Run a full stored sequence through a fresh per-entity track.
+
+        Offline evaluation helper: the sequence's alerts are re-keyed to
+        a dedicated entity so separate evaluations do not interfere.
+        """
+        entity = entity or (sequence[0].entity if len(sequence) else "entity:eval")
+        self.reset_entity(entity)
+        detection: Optional[Detection] = None
+        for alert in sequence:
+            result = self.observe(alert.with_entity(entity))
+            if result is not None and detection is None:
+                detection = result
+        return detection
+
+    # -- convenience -----------------------------------------------------------
+    def current_state(self, entity: str) -> HiddenState:
+        """MAP state of an entity given everything observed so far."""
+        states, _, _ = self.infer(entity)
+        if states.size == 0:
+            return HiddenState.BENIGN
+        return HiddenState(int(states[-1]))
+
+    def posterior(self, entity: str) -> Mapping[str, float]:
+        """Posterior distribution over the entity's current hidden state."""
+        _, marginal, _ = self.infer(entity)
+        return {state.name.lower(): float(marginal[int(state)]) for state in HiddenState.domain()}
+
+
+__all__ = [
+    "PatternSpec",
+    "Detection",
+    "EntityTrack",
+    "AttackTagger",
+]

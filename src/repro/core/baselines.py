@@ -1,0 +1,229 @@
+"""Additional baseline detectors used in the model-comparison benchmarks.
+
+Two baselines bracket the factor-graph model:
+
+* :class:`CriticalAlertDetector` -- fires only on the 19 critical alert
+  types.  This is the paper's Insight-4 strawman: it is precise but by
+  construction can never preempt an attack, because critical alerts
+  appear only after system integrity is already lost.
+* :class:`NaiveBayesDetector` -- treats the alerts of an entity as a
+  bag (no ordering, no transitions, no patterns) and thresholds the
+  posterior odds of "attack" vs. "benign".  This isolates the value of
+  sequence information: it shares the observation statistics with the
+  factor-graph model but none of its structure.
+
+Both expose the same streaming ``observe`` / ``run_sequence`` API as
+:class:`repro.core.attack_tagger.AttackTagger` so the evaluation
+harness can treat every model uniformly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .alerts import Alert, AlertVocabulary, DEFAULT_VOCABULARY
+from .attack_tagger import Detection
+from .sequences import AlertSequence
+from .states import HiddenState
+from .training import LabeledSequence
+
+
+class CriticalAlertDetector:
+    """Detector that tags an entity malicious on its first critical alert."""
+
+    def __init__(self, vocabulary: Optional[AlertVocabulary] = None) -> None:
+        self.vocabulary = vocabulary or DEFAULT_VOCABULARY
+        self._critical = set(self.vocabulary.critical_names())
+        self._history: Dict[str, List[Alert]] = {}
+        self._detections: List[Detection] = []
+        self._detected: set[str] = set()
+
+    @property
+    def detections(self) -> list[Detection]:
+        """All detections emitted so far."""
+        return list(self._detections)
+
+    def reset(self) -> None:
+        """Forget all per-entity state."""
+        self._history.clear()
+        self._detections.clear()
+        self._detected.clear()
+
+    def reset_entity(self, entity: str) -> None:
+        """Forget one entity."""
+        self._history.pop(entity, None)
+        self._detected.discard(entity)
+
+    def observe(self, alert: Alert) -> Optional[Detection]:
+        """Consume one alert; detect iff it is a critical alert."""
+        history = self._history.setdefault(alert.entity, [])
+        history.append(alert)
+        if alert.entity in self._detected or alert.name not in self._critical:
+            return None
+        detection = Detection(
+            entity=alert.entity,
+            timestamp=alert.timestamp,
+            alert_index=len(history) - 1,
+            trigger=alert,
+            state=HiddenState.MALICIOUS,
+            confidence=1.0,
+            matched_patterns=(alert.name,),
+        )
+        self._detected.add(alert.entity)
+        self._detections.append(detection)
+        return detection
+
+    def observe_many(self, alerts: Iterable[Alert]) -> list[Detection]:
+        """Consume a batch of alerts."""
+        out = []
+        for alert in alerts:
+            d = self.observe(alert)
+            if d is not None:
+                out.append(d)
+        return out
+
+    def run_sequence(self, sequence: AlertSequence, entity: Optional[str] = None) -> Optional[Detection]:
+        """Offline helper mirroring :meth:`AttackTagger.run_sequence`."""
+        entity = entity or (sequence[0].entity if len(sequence) else "entity:eval")
+        self.reset_entity(entity)
+        detection: Optional[Detection] = None
+        for alert in sequence:
+            result = self.observe(alert.with_entity(entity))
+            if result is not None and detection is None:
+                detection = result
+        return detection
+
+
+@dataclasses.dataclass
+class NaiveBayesParameters:
+    """Per-alert-type log-likelihood ratios plus a prior log-odds."""
+
+    vocabulary: AlertVocabulary
+    log_likelihood_ratio: np.ndarray
+    prior_log_odds: float
+
+    def score(self, names: Sequence[str]) -> float:
+        """Cumulative log-odds of "attack" for a bag of alert names."""
+        total = self.prior_log_odds
+        for name in names:
+            if name in self.vocabulary:
+                total += float(self.log_likelihood_ratio[self.vocabulary.index_of(name)])
+        return total
+
+
+class NaiveBayesDetector:
+    """Bag-of-alerts baseline sharing the evaluation API of AttackTagger."""
+
+    def __init__(
+        self,
+        parameters: Optional[NaiveBayesParameters] = None,
+        *,
+        vocabulary: Optional[AlertVocabulary] = None,
+        detection_log_odds: float = 2.0,
+        smoothing: float = 0.5,
+    ) -> None:
+        self.vocabulary = vocabulary or (parameters.vocabulary if parameters else DEFAULT_VOCABULARY)
+        self.parameters = parameters
+        self.detection_log_odds = float(detection_log_odds)
+        self.smoothing = float(smoothing)
+        self._history: Dict[str, List[Alert]] = {}
+        self._detections: List[Detection] = []
+        self._detected: set[str] = set()
+
+    # -- training ------------------------------------------------------------
+    def fit(self, examples: Iterable[LabeledSequence]) -> NaiveBayesParameters:
+        """Estimate per-alert likelihood ratios from labelled sequences."""
+        vocab = self.vocabulary
+        attack_counts = np.full(len(vocab), self.smoothing, dtype=np.float64)
+        benign_counts = np.full(len(vocab), self.smoothing, dtype=np.float64)
+        num_attack = 0
+        num_benign = 0
+        for example in examples:
+            target = attack_counts if example.is_attack else benign_counts
+            if example.is_attack:
+                num_attack += 1
+            else:
+                num_benign += 1
+            for name in example.sequence.names:
+                if name in vocab:
+                    target[vocab.index_of(name)] += 1.0
+        attack_probability = attack_counts / attack_counts.sum()
+        benign_probability = benign_counts / benign_counts.sum()
+        ratio = np.log(attack_probability) - np.log(benign_probability)
+        prior = math.log((num_attack + 1.0) / (num_benign + 1.0))
+        self.parameters = NaiveBayesParameters(
+            vocabulary=vocab, log_likelihood_ratio=ratio, prior_log_odds=prior
+        )
+        return self.parameters
+
+    # -- streaming API ----------------------------------------------------------
+    @property
+    def detections(self) -> list[Detection]:
+        """All detections emitted so far."""
+        return list(self._detections)
+
+    def reset(self) -> None:
+        """Forget all per-entity state."""
+        self._history.clear()
+        self._detections.clear()
+        self._detected.clear()
+
+    def reset_entity(self, entity: str) -> None:
+        """Forget one entity."""
+        self._history.pop(entity, None)
+        self._detected.discard(entity)
+
+    def observe(self, alert: Alert) -> Optional[Detection]:
+        """Consume one alert; detect when the cumulative log-odds cross the threshold."""
+        if self.parameters is None:
+            raise RuntimeError("NaiveBayesDetector.observe called before fit()")
+        history = self._history.setdefault(alert.entity, [])
+        history.append(alert)
+        if alert.entity in self._detected:
+            return None
+        score = self.parameters.score([a.name for a in history])
+        if score < self.detection_log_odds:
+            return None
+        confidence = 1.0 / (1.0 + math.exp(-score))
+        detection = Detection(
+            entity=alert.entity,
+            timestamp=alert.timestamp,
+            alert_index=len(history) - 1,
+            trigger=alert,
+            state=HiddenState.MALICIOUS,
+            confidence=confidence,
+        )
+        self._detected.add(alert.entity)
+        self._detections.append(detection)
+        return detection
+
+    def observe_many(self, alerts: Iterable[Alert]) -> list[Detection]:
+        """Consume a batch of alerts."""
+        out = []
+        for alert in alerts:
+            d = self.observe(alert)
+            if d is not None:
+                out.append(d)
+        return out
+
+    def run_sequence(self, sequence: AlertSequence, entity: Optional[str] = None) -> Optional[Detection]:
+        """Offline helper mirroring :meth:`AttackTagger.run_sequence`."""
+        entity = entity or (sequence[0].entity if len(sequence) else "entity:eval")
+        self.reset_entity(entity)
+        detection: Optional[Detection] = None
+        for alert in sequence:
+            result = self.observe(alert.with_entity(entity))
+            if result is not None and detection is None:
+                detection = result
+        return detection
+
+
+__all__ = [
+    "CriticalAlertDetector",
+    "NaiveBayesParameters",
+    "NaiveBayesDetector",
+]

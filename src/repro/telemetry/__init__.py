@@ -1,0 +1,69 @@
+"""Telemetry substrate: monitors, normalisation, filtering, annotation.
+
+Models the monitoring stack the paper's testbed relies on -- a Zeek
+network-monitor cluster plus per-host rsyslog, auditd and osquery --
+and the preprocessing pipeline that turns raw records into the
+symbolic, sanitised, filtered and annotated alerts the detection models
+consume.
+"""
+
+from .annotator import (
+    AnnotatedAlert,
+    AnnotationLabel,
+    AnnotationMethod,
+    AnnotationStats,
+    ExpertPanel,
+    GroundTruthAnnotator,
+)
+from .auditd import AuditdMonitor, AuditRecord
+from .filtering import FilterStats, ScanFilter, filter_alerts
+from .logsource import LogSource, MonitorKind, RawLogRecord, anonymize_ip, merge_records
+from .normalizer import AlertNormalizer, KNOWN_C2_PREFIXES, NormalizationRule, ZEEK_NOTICE_MAP
+from .osquery import OsqueryMonitor, OsqueryResult
+from .sanitizer import SanitizationReport, Sanitizer
+from .syslog import SyslogMessage, SyslogMonitor
+from .zeek import (
+    ConnRecord,
+    NoticeRecord,
+    ZeekMonitor,
+    parse_conn_log,
+    parse_notice_log,
+    write_conn_log,
+    write_notice_log,
+)
+
+__all__ = [
+    "MonitorKind",
+    "RawLogRecord",
+    "LogSource",
+    "merge_records",
+    "anonymize_ip",
+    "ConnRecord",
+    "NoticeRecord",
+    "ZeekMonitor",
+    "write_conn_log",
+    "parse_conn_log",
+    "write_notice_log",
+    "parse_notice_log",
+    "SyslogMessage",
+    "SyslogMonitor",
+    "AuditRecord",
+    "AuditdMonitor",
+    "OsqueryResult",
+    "OsqueryMonitor",
+    "AlertNormalizer",
+    "NormalizationRule",
+    "ZEEK_NOTICE_MAP",
+    "KNOWN_C2_PREFIXES",
+    "Sanitizer",
+    "SanitizationReport",
+    "ScanFilter",
+    "FilterStats",
+    "filter_alerts",
+    "GroundTruthAnnotator",
+    "ExpertPanel",
+    "AnnotatedAlert",
+    "AnnotationLabel",
+    "AnnotationMethod",
+    "AnnotationStats",
+]

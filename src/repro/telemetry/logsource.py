@@ -1,0 +1,137 @@
+"""Base types shared by all monitor log models.
+
+Every monitor in the testbed (Zeek network security monitors, rsyslog,
+auditd, osquery) produces *raw log records*.  The telemetry pipeline
+normalises those records into the symbolic :class:`repro.core.alerts
+.Alert` representation the detectors consume.  This module defines the
+common raw-record shape and the registry of monitors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Iterable, Iterator, Mapping, Optional
+
+
+class MonitorKind(enum.Enum):
+    """The monitor families deployed on the testbed."""
+
+    ZEEK = "zeek"
+    SYSLOG = "syslog"
+    AUDITD = "auditd"
+    OSQUERY = "osquery"
+
+
+@dataclasses.dataclass(frozen=True)
+class RawLogRecord:
+    """One raw log record as emitted by a monitor.
+
+    Attributes
+    ----------
+    timestamp:
+        POSIX timestamp of the record.
+    monitor:
+        Which monitor family produced it.
+    host:
+        Host on which (or about which) the record was produced.
+    message:
+        The raw, single-line textual form of the record.
+    fields:
+        Structured fields parsed from / used to render the message.
+    """
+
+    timestamp: float
+    monitor: MonitorKind
+    host: str
+    message: str
+    fields: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+    def field(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor for a structured field."""
+        return self.fields.get(key, default)
+
+
+class LogSource:
+    """Base class for monitor models.
+
+    A log source can *render* structured events into raw records (used
+    by the attack emulator and the honeypot services) and *parse* raw
+    lines back into records (used by the replay engine).  Subclasses
+    implement the format specifics.
+    """
+
+    kind: MonitorKind
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self._records: list[RawLogRecord] = []
+
+    # -- emission ---------------------------------------------------------
+    def emit(self, record: RawLogRecord) -> RawLogRecord:
+        """Append a record to this source's buffer and return it."""
+        if record.monitor is not self.kind:
+            raise ValueError(
+                f"{type(self).__name__} cannot emit records of monitor {record.monitor}"
+            )
+        self._records.append(record)
+        return record
+
+    def extend(self, records: Iterable[RawLogRecord]) -> None:
+        """Emit many records."""
+        for record in records:
+            self.emit(record)
+
+    # -- access ------------------------------------------------------------
+    @property
+    def records(self) -> list[RawLogRecord]:
+        """All records emitted so far (time order is the caller's duty)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RawLogRecord]:
+        return iter(self._records)
+
+    def clear(self) -> None:
+        """Drop all buffered records."""
+        self._records.clear()
+
+    def between(self, start: float, end: float) -> list[RawLogRecord]:
+        """Records with ``start <= timestamp <= end``."""
+        return [r for r in self._records if start <= r.timestamp <= end]
+
+
+def merge_records(*sources: Iterable[RawLogRecord]) -> list[RawLogRecord]:
+    """Merge records from several sources into one time-ordered stream."""
+    merged: list[RawLogRecord] = []
+    for source in sources:
+        merged.extend(source)
+    merged.sort(key=lambda r: r.timestamp)
+    return merged
+
+
+def anonymize_ip(ip: str, keep_octets: int = 2) -> str:
+    """Privacy-preserving IP truncation used throughout log rendering.
+
+    The paper shows only the first part of each address (``103.102.``)
+    to preserve privacy; ``keep_octets`` controls how much is kept.
+    """
+    if not ip:
+        return ip
+    parts = ip.split(".")
+    if len(parts) != 4:
+        return ip
+    kept = parts[: max(1, min(4, keep_octets))]
+    suffix = ["xxx", "yyy", "zzz", "ttt"][: 4 - len(kept)]
+    return ".".join(kept + suffix)
+
+
+__all__ = [
+    "MonitorKind",
+    "RawLogRecord",
+    "LogSource",
+    "merge_records",
+    "anonymize_ip",
+]

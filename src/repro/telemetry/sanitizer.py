@@ -1,0 +1,105 @@
+"""Sanitisation of personally identifiable and sensitive information.
+
+Per the paper, specific information (personal information, filenames)
+is sanitised during preprocessing while the timestamp is kept.  The
+sanitiser scrubs:
+
+* e-mail addresses and phone numbers (replaced with typed placeholders),
+* national identifiers that look like US SSNs,
+* password-like key/value pairs,
+* home-directory filenames (kept as basename class, not full path),
+* IP addresses, which are *truncated* rather than removed (the paper's
+  figures keep the routing prefix, e.g. ``103.102.xxx.yyy``) so that
+  origin metadata stays useful for attribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any, Mapping
+
+from .logsource import anonymize_ip
+
+_EMAIL_RE = re.compile(r"[\w.+-]+@[\w-]+\.[\w.-]+")
+_SSN_RE = re.compile(r"\b\d{3}-\d{2}-\d{4}\b")
+_PHONE_RE = re.compile(r"\b(?:\+?1[-. ]?)?\(?\d{3}\)?[-. ]?\d{3}[-. ]?\d{4}\b")
+_IP_RE = re.compile(r"\b(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})\b")
+_HOME_PATH_RE = re.compile(r"/home/([\w.-]+)(/[\w./-]*)?")
+_SECRET_KEYS = ("password", "passwd", "secret", "token", "api_key", "private_key")
+
+
+@dataclasses.dataclass
+class SanitizationReport:
+    """Counts of what the sanitiser scrubbed (for auditing)."""
+
+    emails: int = 0
+    ssns: int = 0
+    phones: int = 0
+    ips_truncated: int = 0
+    home_paths: int = 0
+    secrets: int = 0
+
+    def total(self) -> int:
+        """Total number of scrubbed items."""
+        return self.emails + self.ssns + self.phones + self.ips_truncated + self.home_paths + self.secrets
+
+
+class Sanitizer:
+    """Scrubs sensitive content from log text and alert metadata."""
+
+    def __init__(self, *, ip_octets_kept: int = 2, truncate_ips: bool = True) -> None:
+        self.ip_octets_kept = int(ip_octets_kept)
+        self.truncate_ips = bool(truncate_ips)
+        self.report = SanitizationReport()
+
+    # -- text ---------------------------------------------------------------
+    def sanitize_text(self, text: str) -> str:
+        """Scrub a free-text log message."""
+        out, count = _EMAIL_RE.subn("<email>", text)
+        self.report.emails += count
+        out, count = _SSN_RE.subn("<ssn>", out)
+        self.report.ssns += count
+        out, count = _PHONE_RE.subn("<phone>", out)
+        self.report.phones += count
+        out, count = _HOME_PATH_RE.subn(lambda m: f"/home/<user>{m.group(2) or ''}", out)
+        self.report.home_paths += count
+        if self.truncate_ips:
+            def _truncate(match: re.Match[str]) -> str:
+                self.report.ips_truncated += 1
+                return anonymize_ip(match.group(0), self.ip_octets_kept)
+            out = _IP_RE.sub(_truncate, out)
+        return out
+
+    # -- metadata ----------------------------------------------------------------
+    def sanitize_metadata(self, metadata: Mapping[str, Any]) -> dict[str, Any]:
+        """Scrub a metadata mapping attached to an alert.
+
+        Secret-bearing keys are dropped entirely; string values are run
+        through :meth:`sanitize_text`; IP-valued fields keep their full
+        value only in the dedicated ``source_ip``/``destination_ip``
+        keys (needed for attribution and response) and are truncated
+        anywhere else.
+        """
+        clean: dict[str, Any] = {}
+        for key, value in metadata.items():
+            lowered = key.lower()
+            if any(secret in lowered for secret in _SECRET_KEYS):
+                self.report.secrets += 1
+                continue
+            if isinstance(value, str):
+                if lowered in ("source_ip", "destination_ip", "ip"):
+                    clean[key] = value
+                else:
+                    clean[key] = self.sanitize_text(value)
+            else:
+                clean[key] = value
+        return clean
+
+    def reset_report(self) -> SanitizationReport:
+        """Return the current report and start a fresh one."""
+        report, self.report = self.report, SanitizationReport()
+        return report
+
+
+__all__ = ["Sanitizer", "SanitizationReport"]

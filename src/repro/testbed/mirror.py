@@ -1,0 +1,87 @@
+"""Traffic mirroring and alert forwarding bus.
+
+The testbed receives *mirrored* alerts of all production network
+traffic (Fig. 4: the border router feeds both the target systems and
+the testbed's alert-filtering stage).  The mirror is modelled as a
+simple publish/subscribe bus over raw monitor records and normalised
+alerts: monitors publish, the filtering stage and any number of
+detection models subscribe.  Subscribers are plain callables, so the
+pipeline can wire the real components and tests can attach probes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Optional
+
+from ..core.alerts import Alert
+from ..telemetry.logsource import RawLogRecord
+
+RawSubscriber = Callable[[RawLogRecord], None]
+AlertSubscriber = Callable[[Alert], None]
+
+
+@dataclasses.dataclass
+class MirrorStats:
+    """Counters for what flowed through the mirror."""
+
+    raw_records: int = 0
+    alerts: int = 0
+    dropped_raw: int = 0
+
+
+class TrafficMirror:
+    """Publish/subscribe bus for raw records and normalised alerts."""
+
+    def __init__(self, *, max_buffer: Optional[int] = None) -> None:
+        self._raw_subscribers: list[RawSubscriber] = []
+        self._alert_subscribers: list[AlertSubscriber] = []
+        self.max_buffer = max_buffer
+        self.raw_buffer: list[RawLogRecord] = []
+        self.alert_buffer: list[Alert] = []
+        self.stats = MirrorStats()
+
+    # -- subscription ------------------------------------------------------
+    def subscribe_raw(self, subscriber: RawSubscriber) -> None:
+        """Receive every mirrored raw record."""
+        self._raw_subscribers.append(subscriber)
+
+    def subscribe_alerts(self, subscriber: AlertSubscriber) -> None:
+        """Receive every normalised alert."""
+        self._alert_subscribers.append(subscriber)
+
+    # -- publication ----------------------------------------------------------
+    def publish_raw(self, record: RawLogRecord) -> None:
+        """Mirror one raw monitor record."""
+        self.stats.raw_records += 1
+        self._buffer(self.raw_buffer, record)
+        for subscriber in self._raw_subscribers:
+            subscriber(record)
+
+    def publish_raw_many(self, records: Iterable[RawLogRecord]) -> None:
+        """Mirror many raw records."""
+        for record in records:
+            self.publish_raw(record)
+
+    def publish_alert(self, alert: Alert) -> None:
+        """Forward one normalised alert to the detection models."""
+        self.stats.alerts += 1
+        self._buffer(self.alert_buffer, alert)
+        for subscriber in self._alert_subscribers:
+            subscriber(alert)
+
+    def publish_alerts(self, alerts: Iterable[Alert]) -> None:
+        """Forward many alerts."""
+        for alert in alerts:
+            self.publish_alert(alert)
+
+    # -- internals ----------------------------------------------------------------
+    def _buffer(self, buffer: list, item) -> None:
+        buffer.append(item)
+        if self.max_buffer is not None and len(buffer) > self.max_buffer:
+            del buffer[: len(buffer) - self.max_buffer]
+            if buffer is self.raw_buffer:
+                self.stats.dropped_raw += 1
+
+
+__all__ = ["TrafficMirror", "MirrorStats", "RawSubscriber", "AlertSubscriber"]

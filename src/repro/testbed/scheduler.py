@@ -1,0 +1,185 @@
+"""Discrete-event simulation engine for the testbed.
+
+Everything time-dependent in the testbed -- honeypot VM lifecycles,
+attack scenarios, traffic mirroring, black-hole-route expiry -- runs on
+a single discrete-event scheduler so experiments are deterministic and
+fast (no wall-clock sleeping).  The engine is a classic priority-queue
+simulator: events carry a firing time, a priority for tie-breaking, and
+a callback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+@dataclasses.dataclass(order=True)
+class _QueuedEvent:
+    """Internal heap entry (ordered by time, then priority, then sequence)."""
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[["Simulator"], Any] = dataclasses.field(compare=False)
+    label: str = dataclasses.field(compare=False, default="")
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    def __init__(self, event: _QueuedEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """Human-readable label."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event (no-op if it already fired)."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[_QueuedEvent] = []
+        self._sequence = itertools.count()
+        self._fired = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def fired(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[["Simulator"], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        event = _QueuedEvent(
+            time=self._now + delay,
+            priority=priority,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[["Simulator"], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        return self.schedule(max(0.0, time - self._now), callback, priority=priority, label=label)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[["Simulator"], Any],
+        *,
+        label: str = "",
+        max_firings: Optional[int] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` every ``interval`` seconds.
+
+        The callback may return ``False`` to stop the recurrence.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        state = {"count": 0}
+
+        def _fire(sim: "Simulator") -> None:
+            state["count"] += 1
+            result = callback(sim)
+            if result is False:
+                return
+            if max_firings is not None and state["count"] >= max_firings:
+                return
+            sim.schedule(interval, _fire, label=label)
+
+        return self.schedule(interval, _fire, label=label)
+
+    # -- execution ---------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(self)
+            self._fired += 1
+            return True
+        return False
+
+    def run(self, *, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue empties, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            next_event = self._queue[0]
+            if next_event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and next_event.time > until:
+                self._now = until
+                break
+            if not self.step():
+                break
+            executed += 1
+        if not self._queue and until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def advance(self, seconds: float) -> int:
+        """Run for ``seconds`` of simulated time from now."""
+        if seconds < 0:
+            raise ValueError("cannot advance backwards")
+        return self.run(until=self._now + seconds)
+
+
+__all__ = ["Simulator", "EventHandle"]

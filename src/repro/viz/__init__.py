@@ -1,0 +1,41 @@
+"""Attack-graph visualisation: build, lay out, annotate, export (Fig. 1)."""
+
+from .annotate import AnnotationSummary, GraphAnnotator
+from .export import export_dot, export_gexf, export_json, render_ascii_summary
+from .graph_builder import (
+    ConnectionGraphBuilder,
+    GraphStats,
+    ROLE_ATTACKER,
+    ROLE_EXTERNAL,
+    ROLE_INTERNAL,
+    ROLE_MINOR_SCANNER,
+    ROLE_SCANNER,
+    ROLE_TARGET,
+)
+from .layout import (
+    LayoutResult,
+    fruchterman_reingold_layout,
+    hub_centrality_check,
+    multilevel_layout,
+)
+
+__all__ = [
+    "ConnectionGraphBuilder",
+    "GraphStats",
+    "ROLE_SCANNER",
+    "ROLE_MINOR_SCANNER",
+    "ROLE_ATTACKER",
+    "ROLE_TARGET",
+    "ROLE_INTERNAL",
+    "ROLE_EXTERNAL",
+    "LayoutResult",
+    "fruchterman_reingold_layout",
+    "multilevel_layout",
+    "hub_centrality_check",
+    "GraphAnnotator",
+    "AnnotationSummary",
+    "export_dot",
+    "export_json",
+    "export_gexf",
+    "render_ascii_summary",
+]

@@ -1,0 +1,100 @@
+"""Attacker-node annotation for the connection graph.
+
+In the paper the attacker nodes of Fig. 1 were annotated manually by
+cross-examining the ground truth of attacker IP addresses provided by
+the factor-graph detector and the black-hole router's scanner records.
+This module automates the same cross-examination: given a built graph,
+detector output (detections carry the attacker's source IP) and the
+router's per-source scan counters, it labels each node as mass scanner,
+minor scanner, attacker, target, or legitimate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Sequence
+
+from ..core.attack_tagger import Detection
+from ..testbed.bhr import BlackHoleRouter
+from .graph_builder import (
+    ConnectionGraphBuilder,
+    ROLE_ATTACKER,
+    ROLE_MINOR_SCANNER,
+    ROLE_SCANNER,
+    ROLE_TARGET,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AnnotationSummary:
+    """Counts of annotated node roles."""
+
+    mass_scanners: int
+    minor_scanners: int
+    attackers: int
+    targets: int
+    legitimate: int
+
+    @property
+    def total(self) -> int:
+        """Total number of nodes annotated."""
+        return (
+            self.mass_scanners + self.minor_scanners + self.attackers + self.targets + self.legitimate
+        )
+
+
+class GraphAnnotator:
+    """Labels graph nodes by cross-examining detector and router ground truth."""
+
+    def __init__(
+        self,
+        builder: ConnectionGraphBuilder,
+        *,
+        mass_scanner_threshold: int = 5_000,
+        minor_scanner_threshold: int = 50,
+    ) -> None:
+        self.builder = builder
+        self.mass_scanner_threshold = int(mass_scanner_threshold)
+        self.minor_scanner_threshold = int(minor_scanner_threshold)
+
+    def annotate(
+        self,
+        *,
+        detections: Sequence[Detection] = (),
+        router: Optional[BlackHoleRouter] = None,
+        known_attacker_ips: Iterable[str] = (),
+    ) -> AnnotationSummary:
+        """Annotate the graph in place and return role counts."""
+        graph = self.builder.graph
+        attacker_ips = set(known_attacker_ips)
+        for detection in detections:
+            if detection.trigger.source_ip:
+                attacker_ips.add(detection.trigger.source_ip)
+
+        mass = minor = attackers = targets = 0
+        scan_counts = router.scan_counter if router is not None else {}
+        for node, data in graph.nodes(data=True):
+            count = scan_counts.get(node, 0)
+            if node in attacker_ips:
+                data["role"] = ROLE_ATTACKER
+                attackers += 1
+                for _, target in graph.out_edges(node):
+                    graph.nodes[target]["role"] = ROLE_TARGET
+            elif count >= self.mass_scanner_threshold:
+                data["role"] = ROLE_SCANNER
+                mass += 1
+            elif count >= self.minor_scanner_threshold:
+                data["role"] = ROLE_MINOR_SCANNER
+                minor += 1
+        targets = len(self.builder.nodes_with_role(ROLE_TARGET))
+        legitimate = graph.number_of_nodes() - mass - minor - attackers - targets
+        return AnnotationSummary(
+            mass_scanners=mass,
+            minor_scanners=minor,
+            attackers=attackers,
+            targets=targets,
+            legitimate=max(0, legitimate),
+        )
+
+
+__all__ = ["AnnotationSummary", "GraphAnnotator"]

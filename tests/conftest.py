@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (the full synthetic corpus, trained parameters, the
+honeypot) are built once per session; tests that mutate state build
+their own instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DEFAULT_VOCABULARY, train_from_incidents
+from repro.incidents import DEFAULT_CATALOGUE, IncidentGenerator
+from repro.testbed import Honeypot, build_default_topology
+
+
+@pytest.fixture(scope="session")
+def generator():
+    """A seeded incident generator (session-wide)."""
+    return IncidentGenerator(seed=7)
+
+
+@pytest.fixture(scope="session")
+def corpus(generator):
+    """The default 228-incident synthetic corpus."""
+    return generator.generate_corpus()
+
+
+@pytest.fixture(scope="session")
+def benign_sequences():
+    """Benign per-entity sequences for training/evaluation negatives."""
+    return IncidentGenerator(seed=99).generate_benign_sequences(120)
+
+
+@pytest.fixture(scope="session")
+def trained_parameters(corpus, benign_sequences):
+    """Factor parameters trained on the full corpus plus benign traffic."""
+    return train_from_incidents(
+        corpus.attack_sequences(),
+        benign_sequences,
+        vocabulary=DEFAULT_VOCABULARY,
+        patterns=list(DEFAULT_CATALOGUE),
+    )
+
+
+@pytest.fixture()
+def honeypot():
+    """A fresh honeypot per test (tests compromise it)."""
+    return Honeypot()
+
+
+@pytest.fixture(scope="session")
+def topology():
+    """The default simulated cluster topology (read-mostly)."""
+    return build_default_topology()

@@ -1,0 +1,117 @@
+"""Tests for the symbolic alert vocabulary and Alert records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alerts import (
+    Alert,
+    AlertCategory,
+    AlertTypeSpec,
+    AlertVocabulary,
+    DEFAULT_VOCABULARY,
+    Severity,
+    build_default_vocabulary,
+    sort_alerts,
+)
+from repro.core.states import AttackStage
+
+
+class TestAlertTypeSpec:
+    def test_requires_alert_prefix(self):
+        with pytest.raises(ValueError):
+            AlertTypeSpec("bad_name", AlertCategory.BENIGN, Severity.INFO, AttackStage.BACKGROUND)
+
+    def test_critical_requires_critical_severity(self):
+        with pytest.raises(ValueError):
+            AlertTypeSpec(
+                "alert_x", AlertCategory.MALWARE, Severity.HIGH, AttackStage.ACTIONS, critical=True
+            )
+
+
+class TestVocabulary:
+    def test_default_vocabulary_has_19_critical_alerts(self):
+        assert len(DEFAULT_VOCABULARY.critical_names()) == 19
+
+    def test_all_critical_alerts_have_critical_severity(self):
+        for name in DEFAULT_VOCABULARY.critical_names():
+            assert DEFAULT_VOCABULARY.get(name).severity is Severity.CRITICAL
+
+    def test_duplicate_registration_rejected(self):
+        vocab = AlertVocabulary()
+        vocab.define("alert_a", AlertCategory.BENIGN, Severity.INFO, AttackStage.BACKGROUND)
+        with pytest.raises(ValueError):
+            vocab.define("alert_a", AlertCategory.BENIGN, Severity.INFO, AttackStage.BACKGROUND)
+
+    def test_index_of_is_stable_and_dense(self):
+        names = DEFAULT_VOCABULARY.names()
+        indices = [DEFAULT_VOCABULARY.index_of(n) for n in names]
+        assert indices == list(range(len(names)))
+
+    def test_build_default_vocabulary_is_reconstructible(self):
+        vocab = build_default_vocabulary()
+        assert vocab.names() == DEFAULT_VOCABULARY.names()
+
+    def test_names_for_stage_partition(self):
+        total = sum(
+            len(DEFAULT_VOCABULARY.names_for_stage(stage)) for stage in AttackStage
+        )
+        assert total == len(DEFAULT_VOCABULARY)
+
+    def test_contains_known_paper_alerts(self):
+        for name in (
+            "alert_download_sensitive",
+            "alert_compile_kernel_module",
+            "alert_erase_forensic_trace",
+            "alert_db_largeobject_payload",
+            "alert_outbound_c2",
+            "alert_lateral_ssh_batch",
+            "alert_pii_in_http",
+            "alert_privilege_escalation",
+        ):
+            assert name in DEFAULT_VOCABULARY
+
+    def test_critical_alerts_are_damage_indicators(self):
+        for name in DEFAULT_VOCABULARY.critical_names():
+            spec = DEFAULT_VOCABULARY.get(name)
+            assert spec.severity is Severity.CRITICAL
+
+
+class TestAlert:
+    def test_round_trip_dict(self):
+        alert = Alert(
+            timestamp=123.5,
+            name="alert_download_sensitive",
+            entity="user:alice",
+            source_ip="64.215.1.2",
+            host="login00",
+            monitor="syslog",
+            attributes={"url": "http://64.215.1.2/abs.c"},
+        )
+        assert Alert.from_dict(alert.to_dict()) == alert
+
+    def test_spec_lookup_and_criticality(self):
+        alert = Alert(0.0, "alert_privilege_escalation", "user:x")
+        assert alert.is_critical()
+        assert alert.stage() is AttackStage.ESCALATION
+        benign = Alert(0.0, "alert_login_normal", "user:x")
+        assert not benign.is_critical()
+
+    def test_with_entity_returns_copy(self):
+        alert = Alert(0.0, "alert_login_normal", "user:a")
+        other = alert.with_entity("user:b")
+        assert other.entity == "user:b"
+        assert alert.entity == "user:a"
+
+    def test_sort_alerts(self):
+        alerts = [
+            Alert(5.0, "alert_login_normal", "user:a"),
+            Alert(1.0, "alert_login_normal", "user:a"),
+            Alert(3.0, "alert_login_normal", "user:a"),
+        ]
+        assert [a.timestamp for a in sort_alerts(alerts)] == [1.0, 3.0, 5.0]
+
+    def test_unknown_alert_name_raises_on_spec(self):
+        alert = Alert(0.0, "alert_not_registered", "user:a")
+        with pytest.raises(KeyError):
+            alert.spec()

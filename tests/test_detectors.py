@@ -1,0 +1,195 @@
+"""Tests for the detectors: AttackTagger, rule-based, and the baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AttackTagger,
+    CriticalAlertDetector,
+    DEFAULT_VOCABULARY,
+    HiddenState,
+    NaiveBayesDetector,
+    RuleBasedDetector,
+    default_parameters,
+    label_sequence_from_stages,
+)
+from repro.core.alerts import Alert
+from repro.core.rule_based import Rule, RuleKind
+from repro.core.sequences import AlertSequence
+from repro.incidents import DEFAULT_CATALOGUE
+
+ATTACK_NAMES = [
+    "alert_login_stolen_credential",
+    "alert_download_sensitive",
+    "alert_compile_kernel_module",
+    "alert_privilege_escalation",
+    "alert_erase_forensic_trace",
+]
+BENIGN_NAMES = ["alert_login_normal", "alert_job_submission", "alert_cron_job", "alert_file_transfer"]
+
+
+def _sequence(names, entity="user:test"):
+    return AlertSequence.from_names(names, entity=entity)
+
+
+class TestAttackTagger:
+    def test_detects_rootkit_chain(self):
+        tagger = AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+        detection = tagger.run_sequence(_sequence(ATTACK_NAMES))
+        assert detection is not None
+        assert detection.is_malicious
+        assert detection.confidence >= 0.5
+
+    def test_does_not_flag_benign_activity(self):
+        tagger = AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+        assert tagger.run_sequence(_sequence(BENIGN_NAMES)) is None
+
+    def test_detection_before_damage(self):
+        """Preemption: the chain is flagged before the erase-trace step."""
+        tagger = AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+        detection = tagger.run_sequence(_sequence(ATTACK_NAMES))
+        assert detection is not None
+        assert detection.alert_index < len(ATTACK_NAMES) - 1
+
+    def test_one_detection_per_entity(self):
+        tagger = AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+        alerts = list(_sequence(ATTACK_NAMES + ATTACK_NAMES, entity="user:dup"))
+        detections = tagger.observe_many(alerts)
+        assert len(detections) == 1
+
+    def test_entities_tracked_separately(self):
+        tagger = AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+        tagger.observe(Alert(0.0, "alert_download_sensitive", "user:a"))
+        tagger.observe(Alert(1.0, "alert_login_normal", "user:b"))
+        assert set(tagger.entities()) == {"user:a", "user:b"}
+        assert tagger.current_state("user:b") is HiddenState.BENIGN
+
+    def test_posterior_sums_to_one(self):
+        tagger = AttackTagger()
+        tagger.observe(Alert(0.0, "alert_download_sensitive", "user:a"))
+        posterior = tagger.posterior("user:a")
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_window_truncation(self):
+        tagger = AttackTagger(max_window=4)
+        for i in range(10):
+            tagger.observe(Alert(float(i), "alert_login_normal", "user:a"))
+        assert len(tagger.track("user:a").alerts) == 4
+
+    def test_trained_parameters_improve_or_match_prior(self, trained_parameters):
+        prior = AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+        trained = AttackTagger(trained_parameters, patterns=list(DEFAULT_CATALOGUE))
+        sequence = _sequence(ATTACK_NAMES)
+        prior_detection = prior.run_sequence(sequence)
+        trained_detection = trained.run_sequence(sequence)
+        assert trained_detection is not None
+        if prior_detection is not None:
+            assert trained_detection.alert_index <= prior_detection.alert_index + 1
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            AttackTagger(detection_threshold=1.5)
+
+    def test_reset_entity_clears_state(self):
+        tagger = AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+        tagger.run_sequence(_sequence(ATTACK_NAMES), entity="user:x")
+        tagger.reset_entity("user:x")
+        assert "user:x" not in tagger.entities()
+
+    def test_ablation_without_patterns_still_catches_critical_chain(self):
+        parameters = default_parameters().without_patterns()
+        tagger = AttackTagger(parameters, patterns=[])
+        detection = tagger.run_sequence(_sequence(ATTACK_NAMES))
+        assert detection is not None
+
+
+class TestRuleBasedDetector:
+    def test_fires_on_critical_alert(self):
+        detector = RuleBasedDetector()
+        detection = detector.run_sequence(_sequence(["alert_privilege_escalation"]))
+        assert detection is not None
+        assert "rule_critical_alert" in detection.matched_patterns
+
+    def test_signature_rule_requires_order(self):
+        detector = RuleBasedDetector()
+        names = ["alert_erase_forensic_trace", "alert_compile_kernel_module",
+                 "alert_download_sensitive"]
+        detection = detector.run_sequence(_sequence(names), entity="user:rev")
+        # Reverse order: the download/compile/erase signature must NOT fire.
+        assert detection is None or "rule_download_compile_erase" not in detection.matched_patterns
+
+    def test_threshold_rule_with_window(self):
+        rule = Rule(
+            name="r",
+            kind=RuleKind.THRESHOLD,
+            alert_names=("alert_bruteforce_ssh",),
+            threshold=3,
+            window_seconds=100.0,
+        )
+        detector = RuleBasedDetector(rules=[rule])
+        # Three brute-force alerts within 100 seconds -> fires.
+        seq = AlertSequence.from_names(["alert_bruteforce_ssh"] * 3, step=10.0)
+        assert detector.run_sequence(seq, entity="user:bf") is not None
+        # Spread over 10 hours -> does not fire.
+        detector2 = RuleBasedDetector(rules=[rule])
+        seq_slow = AlertSequence.from_names(["alert_bruteforce_ssh"] * 3, step=18000.0)
+        assert detector2.run_sequence(seq_slow, entity="user:slow") is None
+
+    def test_benign_traffic_not_flagged(self):
+        detector = RuleBasedDetector()
+        assert detector.run_sequence(_sequence(BENIGN_NAMES)) is None
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            Rule(name="bad", kind=RuleKind.SINGLE_ALERT, alert_names=())
+        with pytest.raises(ValueError):
+            Rule(name="bad", kind=RuleKind.THRESHOLD, alert_names=("a",), threshold=0)
+
+    def test_ignore_rules(self):
+        detector = RuleBasedDetector(ignore_rules=["rule_critical_alert"])
+        assert all(r.name != "rule_critical_alert" for r in detector.rules)
+
+
+class TestCriticalAlertDetector:
+    def test_fires_only_on_critical(self):
+        detector = CriticalAlertDetector()
+        assert detector.run_sequence(_sequence(BENIGN_NAMES)) is None
+        detection = detector.run_sequence(
+            _sequence(["alert_login_normal", "alert_pii_in_http"]), entity="user:c"
+        )
+        assert detection is not None
+        assert detection.trigger.name == "alert_pii_in_http"
+
+    def test_cannot_preempt(self):
+        """By construction the critical-only detector fires at/after damage."""
+        from repro.core import evaluate_preemption
+
+        detector = CriticalAlertDetector()
+        sequence = _sequence(ATTACK_NAMES)
+        detection = detector.run_sequence(sequence, entity="user:late")
+        result = evaluate_preemption(sequence, detection)
+        assert result.detected
+        assert not result.preempted
+
+
+class TestNaiveBayesDetector:
+    def _training_examples(self):
+        attack = label_sequence_from_stages(_sequence(ATTACK_NAMES), is_attack=True)
+        benign = label_sequence_from_stages(_sequence(BENIGN_NAMES), is_attack=False)
+        return [attack, benign]
+
+    def test_requires_fit_before_observe(self):
+        detector = NaiveBayesDetector()
+        with pytest.raises(RuntimeError):
+            detector.observe(Alert(0.0, "alert_login_normal", "user:a"))
+
+    def test_detects_attack_after_fit(self):
+        detector = NaiveBayesDetector(detection_log_odds=1.0)
+        detector.fit(self._training_examples())
+        assert detector.run_sequence(_sequence(ATTACK_NAMES)) is not None
+
+    def test_benign_not_flagged(self):
+        detector = NaiveBayesDetector(detection_log_odds=3.0)
+        detector.fit(self._training_examples())
+        assert detector.run_sequence(_sequence(BENIGN_NAMES)) is None

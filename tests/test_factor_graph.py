@@ -1,0 +1,139 @@
+"""Tests for the factor-graph machinery: BP vs. brute force, chain decoders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.factor_graph import (
+    Factor,
+    FactorGraph,
+    Variable,
+    chain_map_decode,
+    chain_marginals,
+)
+
+
+def _chain_graph(unary: np.ndarray, pairwise: np.ndarray) -> FactorGraph:
+    """Build an explicit FactorGraph for a chain model."""
+    steps, states = unary.shape
+    graph = FactorGraph()
+    variables = [graph.add_variable(Variable(f"s{t}", states)) for t in range(steps)]
+    for t in range(steps):
+        graph.add_factor(Factor(f"obs{t}", [variables[t]], np.exp(unary[t])))
+        if t > 0:
+            graph.add_factor(
+                Factor(f"trans{t}", [variables[t - 1], variables[t]], np.exp(pairwise))
+            )
+    return graph
+
+
+class TestFactorValidation:
+    def test_shape_mismatch_rejected(self):
+        v = Variable("x", 2)
+        with pytest.raises(ValueError):
+            Factor("f", [v], np.ones((3,)))
+
+    def test_negative_potentials_rejected(self):
+        v = Variable("x", 2)
+        with pytest.raises(ValueError):
+            Factor("f", [v], np.array([1.0, -0.5]))
+
+    def test_all_zero_rejected(self):
+        v = Variable("x", 2)
+        with pytest.raises(ValueError):
+            Factor("f", [v], np.zeros(2))
+
+    def test_variable_cardinality_positive(self):
+        with pytest.raises(ValueError):
+            Variable("x", 0)
+
+    def test_unknown_variable_in_factor(self):
+        graph = FactorGraph()
+        v = Variable("x", 2)
+        with pytest.raises(KeyError):
+            graph.add_factor(Factor("f", [v], np.ones(2)))
+
+
+class TestInferenceAgainstBruteForce:
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_chain_marginals_match_enumeration(self, length, seed):
+        rng = np.random.default_rng(seed)
+        unary = rng.normal(size=(length, 3))
+        pairwise = rng.normal(size=(3, 3))
+        graph = _chain_graph(unary, pairwise)
+        bp = graph.marginals(max_iterations=100)
+        exact = graph.brute_force_marginals()
+        for name in exact:
+            assert np.allclose(bp[name], exact[name], atol=1e-5)
+
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_map_matches_enumeration_score(self, length, seed):
+        rng = np.random.default_rng(seed)
+        unary = rng.normal(size=(length, 3))
+        pairwise = rng.normal(size=(3, 3))
+        graph = _chain_graph(unary, pairwise)
+        bp_map = graph.map_assignment(max_iterations=100)
+        exact_map = graph.brute_force_map()
+        # Max-product may return a different argmax when there are ties;
+        # compare the achieved score instead of the assignment itself.
+        assert graph.log_score(bp_map) == pytest.approx(graph.log_score(exact_map), abs=1e-5)
+
+    def test_is_chain_detects_structure(self):
+        unary = np.zeros((3, 2))
+        pairwise = np.zeros((2, 2))
+        graph = _chain_graph(unary, pairwise)
+        assert graph.is_chain()
+
+
+class TestChainSpecializations:
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_viterbi_matches_graph_map_score(self, length, seed):
+        rng = np.random.default_rng(seed)
+        unary = rng.normal(size=(length, 3))
+        pairwise = rng.normal(size=(3, 3))
+        path = chain_map_decode(unary, pairwise)
+        assert path.shape == (length,)
+        graph = _chain_graph(unary, pairwise)
+        assignment = {f"s{t}": int(path[t]) for t in range(length)}
+        best = graph.brute_force_map() if length <= 4 else None
+        if best is not None:
+            assert graph.log_score(assignment) == pytest.approx(graph.log_score(best), abs=1e-6)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_chain_marginals_are_distributions(self, length, seed):
+        rng = np.random.default_rng(seed)
+        unary = rng.normal(size=(length, 3))
+        pairwise = rng.normal(size=(3, 3))
+        marginals = chain_marginals(unary, pairwise)
+        assert marginals.shape == (length, 3)
+        assert np.allclose(marginals.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(marginals >= 0)
+
+    def test_chain_marginals_match_factor_graph(self):
+        rng = np.random.default_rng(3)
+        unary = rng.normal(size=(4, 3))
+        pairwise = rng.normal(size=(3, 3))
+        fast = chain_marginals(unary, pairwise)
+        graph = _chain_graph(unary, pairwise)
+        exact = graph.brute_force_marginals()
+        for t in range(4):
+            assert np.allclose(fast[t], exact[f"s{t}"], atol=1e-6)
+
+    def test_empty_chain(self):
+        assert chain_map_decode(np.zeros((0, 3)), np.zeros((3, 3))).size == 0
+        assert chain_marginals(np.zeros((0, 3)), np.zeros((3, 3))).shape == (0, 3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            chain_map_decode(np.zeros((2, 3)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            chain_map_decode(np.zeros(3), np.zeros((3, 3)))
