@@ -16,7 +16,7 @@ from .alerts import (
     build_default_vocabulary,
     sort_alerts,
 )
-from .attack_tagger import AttackTagger, Detection, EntityTrack, PatternSpec
+from .attack_tagger import AttackTagger, Detection, DetectionTrace, EntityTrack, PatternSpec
 from .baselines import CriticalAlertDetector, NaiveBayesDetector, NaiveBayesParameters
 from .evaluation import (
     ConfusionCounts,
@@ -26,9 +26,19 @@ from .evaluation import (
     compare_detectors,
     cross_validate,
     evaluate_detector,
+    threshold_sweep,
     window_sweep,
 )
-from .factor_graph import Factor, FactorGraph, Variable, chain_map_decode, chain_marginals
+from .factor_graph import (
+    Factor,
+    FactorGraph,
+    Variable,
+    chain_map_decode,
+    chain_map_decode_batch,
+    chain_marginals,
+    chain_marginals_batch,
+    chain_stream_trace_batch,
+)
 from .factors import FactorParameters, default_parameters
 from .preemption import (
     DamageBoundary,
@@ -45,6 +55,7 @@ from .sequences import (
     fraction_of_pairs_below,
     is_subsequence,
     jaccard_similarity,
+    lcs_length,
     lcs_length_matrix,
     longest_common_subsequence,
     matched_prefix_length,
@@ -52,6 +63,7 @@ from .sequences import (
     similarity_cdf,
     subsequence_positions,
 )
+from .streaming import PatternCursor, StreamingDecoder, WeightedPattern
 from .states import AttackStage, HiddenState, NUM_STATES
 from .training import (
     LabeledSequence,
@@ -82,6 +94,7 @@ __all__ = [
     "similarity_cdf",
     "fraction_of_pairs_below",
     "longest_common_subsequence",
+    "lcs_length",
     "lcs_length_matrix",
     "is_subsequence",
     "subsequence_positions",
@@ -92,6 +105,9 @@ __all__ = [
     "FactorGraph",
     "chain_map_decode",
     "chain_marginals",
+    "chain_map_decode_batch",
+    "chain_marginals_batch",
+    "chain_stream_trace_batch",
     "FactorParameters",
     "default_parameters",
     # training
@@ -103,8 +119,12 @@ __all__ = [
     # detectors
     "AttackTagger",
     "Detection",
+    "DetectionTrace",
     "EntityTrack",
     "PatternSpec",
+    "StreamingDecoder",
+    "PatternCursor",
+    "WeightedPattern",
     "RuleBasedDetector",
     "Rule",
     "RuleKind",
@@ -126,6 +146,7 @@ __all__ = [
     "CrossValidationResult",
     "evaluate_detector",
     "window_sweep",
+    "threshold_sweep",
     "cross_validate",
     "compare_detectors",
 ]

@@ -26,10 +26,17 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 import numpy as np
 
 from .alerts import Alert, AlertVocabulary, DEFAULT_VOCABULARY
-from .factor_graph import chain_map_decode, chain_marginals
+from .factor_graph import (
+    chain_map_decode,
+    chain_map_decode_batch,
+    chain_marginals,
+    chain_marginals_batch,
+    chain_stream_trace_batch,
+)
 from .factors import FactorParameters, default_parameters, observation_log_for_sequence
 from .sequences import AlertSequence, matched_prefix_length
 from .states import NUM_STATES, HiddenState
+from .streaming import StreamingDecoder, WeightedPattern
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,12 +73,42 @@ class Detection:
 
 
 @dataclasses.dataclass
+class DetectionTrace:
+    """Per-step streaming outputs of one sequence replay.
+
+    ``malicious_probability[t]`` is the posterior probability that the
+    entity is malicious after observing alerts ``0..t``;
+    ``map_is_malicious[t]`` whether the MAP trajectory of that prefix
+    ends in the malicious state.  Because the detector is causal, a
+    replay of ``sequence.prefix(L)`` reproduces the first ``L`` entries
+    of the full trace -- which is what lets the evaluation sweeps share
+    one trace across every window length and threshold.
+    """
+
+    malicious_probability: np.ndarray
+    map_is_malicious: np.ndarray
+
+    def first_crossing(self, threshold: float, limit: Optional[int] = None) -> Optional[int]:
+        """First step at which a detection would fire, or ``None``.
+
+        ``limit`` restricts the search to the first ``limit`` steps
+        (the observation window of a truncated replay).
+        """
+        flags = self.map_is_malicious & (self.malicious_probability >= threshold)
+        if limit is not None:
+            flags = flags[:limit]
+        hits = np.flatnonzero(flags)
+        return int(hits[0]) if hits.size else None
+
+
+@dataclasses.dataclass
 class EntityTrack:
     """Per-entity detector state: the observed alerts and cached decode."""
 
     entity: str
     alerts: List[Alert] = dataclasses.field(default_factory=list)
     detected: Optional[Detection] = None
+    decoder: Optional[StreamingDecoder] = None
 
     @property
     def sequence(self) -> AlertSequence:
@@ -102,6 +139,16 @@ class AttackTagger:
     default_pattern_weight:
         Weight used for catalogue patterns when the trained parameters
         carry no pattern weights (the untrained/prior-only deployment).
+    engine:
+        ``"streaming"`` (default) maintains incremental per-entity
+        decoder state (:class:`repro.core.streaming.StreamingDecoder`)
+        so one alert costs O(K^2 + pattern advances); ``"naive"`` keeps
+        the seed behaviour of re-decoding the whole chain per alert
+        (kept for regression tests and benchmarking).  Both engines
+        produce identical detections; pattern weights are resolved when
+        an entity's decoder is created, so mutate
+        ``parameters.pattern_weights`` only between ``run_sequence``
+        calls (which reset the entity) when using the streaming engine.
     """
 
     def __init__(
@@ -113,6 +160,7 @@ class AttackTagger:
         max_window: int = 64,
         default_pattern_weight: float = 2.0,
         vocabulary: Optional[AlertVocabulary] = None,
+        engine: str = "streaming",
     ) -> None:
         self.vocabulary = vocabulary or (parameters.vocabulary if parameters else DEFAULT_VOCABULARY)
         self.parameters = parameters or default_parameters(self.vocabulary)
@@ -123,9 +171,12 @@ class AttackTagger:
             raise ValueError("detection_threshold must be in (0, 1)")
         if max_window < 2:
             raise ValueError("max_window must be at least 2")
+        if engine not in ("streaming", "naive"):
+            raise ValueError("engine must be 'streaming' or 'naive'")
         self.detection_threshold = float(detection_threshold)
         self.max_window = int(max_window)
         self.default_pattern_weight = float(default_pattern_weight)
+        self.engine = engine
         self._tracks: Dict[str, EntityTrack] = {}
         self._detections: List[Detection] = []
 
@@ -159,6 +210,27 @@ class AttackTagger:
         if self.parameters.pattern_weights:
             return self.parameters.pattern_weights.get(name, 0.0)
         return self.default_pattern_weight
+
+    def _active_patterns(self) -> list[WeightedPattern]:
+        """Catalogue patterns with a positive resolved weight, in order."""
+        active: list[WeightedPattern] = []
+        for pattern in self.patterns:
+            weight = self._pattern_weight(pattern.name)
+            if weight > 0.0:
+                active.append(WeightedPattern(pattern.name, pattern.names, weight))
+        return active
+
+    def _make_decoder(self) -> StreamingDecoder:
+        """Fresh incremental decoder bound to the current parameters."""
+        return StreamingDecoder(self.parameters, self._active_patterns())
+
+    def _decoder_for(self, track: EntityTrack) -> StreamingDecoder:
+        """The track's decoder, created (and synced to its alerts) on demand."""
+        if track.decoder is None:
+            track.decoder = self._make_decoder()
+            for alert in track.alerts:
+                track.decoder.append(alert.name)
+        return track.decoder
 
     def _build_unary(self, names: Sequence[str]) -> tuple[np.ndarray, list[str]]:
         """Per-step log potentials including pattern-factor bonuses.
@@ -208,13 +280,18 @@ class AttackTagger:
         Returns ``(map_states, final_marginal, matched_pattern_names)``
         where ``map_states`` is the Viterbi state per alert and
         ``final_marginal`` is the posterior over the entity's current
-        state.
+        state.  With the streaming engine this reads the incrementally
+        maintained decoder state; the naive engine re-decodes the whole
+        chain (seed behaviour).
         """
         track = self.track(entity)
-        names = [a.name for a in track.alerts]
-        if not names:
+        if not track.alerts:
             prior = np.exp(self.parameters.initial_log)
             return np.zeros(0, dtype=np.int64), prior / prior.sum(), []
+        if self.engine == "streaming":
+            decoder = self._decoder_for(track)
+            return decoder.map_path(), decoder.final_marginal(), decoder.matched_pattern_names()
+        names = [a.name for a in track.alerts]
         unary, matched = self._build_unary(names)
         states = chain_map_decode(unary, self.parameters.transition_log)
         marginals = chain_marginals(unary, self.parameters.transition_log)
@@ -230,29 +307,58 @@ class AttackTagger:
         can keep building the incident timeline.
         """
         track = self.track(alert.entity)
+        if track.detected is not None:
+            # Already detected: record the alert for the incident
+            # timeline but skip all inference work.  The decoder is
+            # dropped rather than maintained; `_decoder_for` re-syncs it
+            # lazily should `infer` be called for this entity again.
+            track.alerts.append(alert)
+            if len(track.alerts) > self.max_window:
+                del track.alerts[: len(track.alerts) - self.max_window]
+            track.decoder = None
+            return None
+        decoder = self._decoder_for(track) if self.engine == "streaming" else None
         track.alerts.append(alert)
         if len(track.alerts) > self.max_window:
             del track.alerts[: len(track.alerts) - self.max_window]
-        if track.detected is not None:
-            return None
-        states, final_marginal, matched = self.infer(alert.entity)
+            if decoder is not None:
+                # The window slid: the forward recursions lose their
+                # anchor, so re-decode the (bounded) window.
+                decoder.rebuild([a.name for a in track.alerts])
+        elif decoder is not None:
+            decoder.append(alert.name)
+        states: Optional[np.ndarray] = None
+        matched: list[str] = []
+        if decoder is not None:
+            final_marginal = decoder.final_marginal()
+            final_state = HiddenState(decoder.final_state())
+        else:
+            states, final_marginal, matched = self.infer(alert.entity)
+            final_state = HiddenState(int(states[-1])) if states.size else HiddenState.BENIGN
         malicious_probability = float(final_marginal[int(HiddenState.MALICIOUS)])
-        final_state = HiddenState(int(states[-1])) if states.size else HiddenState.BENIGN
-        if final_state is HiddenState.MALICIOUS and malicious_probability >= self.detection_threshold:
-            detection = Detection(
-                entity=alert.entity,
-                timestamp=alert.timestamp,
-                alert_index=len(track.alerts) - 1,
-                trigger=alert,
-                state=final_state,
-                confidence=malicious_probability,
-                matched_patterns=tuple(matched),
-                state_trajectory=tuple(int(s) for s in states),
-            )
-            track.detected = detection
-            self._detections.append(detection)
-            return detection
-        return None
+        if (
+            final_state is not HiddenState.MALICIOUS
+            or malicious_probability < self.detection_threshold
+        ):
+            return None
+        if decoder is not None:
+            # Only a firing detection pays for the full O(T) backtrack.
+            states = decoder.map_path()
+            matched = decoder.matched_pattern_names()
+        assert states is not None
+        detection = Detection(
+            entity=alert.entity,
+            timestamp=alert.timestamp,
+            alert_index=len(track.alerts) - 1,
+            trigger=alert,
+            state=final_state,
+            confidence=malicious_probability,
+            matched_patterns=tuple(matched),
+            state_trajectory=tuple(int(s) for s in states),
+        )
+        track.detected = detection
+        self._detections.append(detection)
+        return detection
 
     def observe_many(self, alerts: Iterable[Alert]) -> list[Detection]:
         """Consume a batch of alerts, returning any detections emitted."""
@@ -278,6 +384,141 @@ class AttackTagger:
                 detection = result
         return detection
 
+    # -- offline fast paths ----------------------------------------------------
+    def _replay_decoder(self, sequence: AlertSequence):
+        """Yield the synced decoder after each alert of an offline replay.
+
+        Mirrors :meth:`observe` exactly (including window eviction)
+        without touching any per-entity track or detection bookkeeping.
+        """
+        decoder = self._make_decoder()
+        names: list[str] = []
+        for alert in sequence:
+            names.append(alert.name)
+            if len(names) > self.max_window:
+                del names[: len(names) - self.max_window]
+                decoder.rebuild(names)
+            else:
+                decoder.append(alert.name)
+            yield decoder
+
+    def detection_trace(self, sequence: AlertSequence) -> DetectionTrace:
+        """Per-step detection statistics of one offline sequence replay.
+
+        One O(T) replay yields, for every prefix, the malicious
+        posterior and whether the MAP trajectory ends malicious -- all a
+        sweep needs to locate the first detection for *any* threshold or
+        observation-window length (the detector is causal, so prefix
+        replays coincide with trace prefixes).
+        """
+        steps = len(sequence)
+        probabilities = np.zeros(steps)
+        flags = np.zeros(steps, dtype=bool)
+        malicious = int(HiddenState.MALICIOUS)
+        for t, decoder in enumerate(self._replay_decoder(sequence)):
+            probabilities[t] = decoder.final_malicious_probability()
+            flags[t] = decoder.final_state() == malicious
+        return DetectionTrace(malicious_probability=probabilities, map_is_malicious=flags)
+
+    def detection_traces(self, sequences: Sequence[AlertSequence]) -> list[DetectionTrace]:
+        """Detection traces for many sequences.
+
+        When no pattern factors are active the per-step unary tables are
+        prefix-stable, so all traces are computed in a single padded
+        ``(N, T, K)`` tensor pass
+        (:func:`repro.core.factor_graph.chain_stream_trace_batch`).
+        With active patterns -- whose bonuses relocate as matches extend
+        -- each sequence is replayed through its own incremental
+        decoder instead.
+        """
+        sequences = list(sequences)
+        if self._active_patterns() or any(len(s) > self.max_window for s in sequences):
+            return [self.detection_trace(sequence) for sequence in sequences]
+        unaries = []
+        for sequence in sequences:
+            unary = observation_log_for_sequence(self.parameters, sequence.names).copy()
+            if unary.shape[0]:
+                unary[0] += self.parameters.initial_log
+            unaries.append(unary)
+        malicious = int(HiddenState.MALICIOUS)
+        traces = []
+        for marginals, map_states in chain_stream_trace_batch(
+            unaries, self.parameters.transition_log
+        ):
+            traces.append(
+                DetectionTrace(
+                    malicious_probability=marginals[:, malicious].copy()
+                    if marginals.size
+                    else np.zeros(len(map_states)),
+                    map_is_malicious=map_states == malicious,
+                )
+            )
+        return traces
+
+    def detections_at(
+        self, requests: Sequence[tuple[AlertSequence, int, str]]
+    ) -> list[Detection]:
+        """Materialise the :class:`Detection` records many streams would emit.
+
+        Each request is ``(sequence, index, entity)``: the detection the
+        live stream would have produced while observing alert ``index``
+        of ``sequence``.  The per-request observation window's unary
+        table is rebuilt directly (no step-by-step replay) and all
+        requests are decoded together through
+        :func:`repro.core.factor_graph.chain_map_decode_batch` /
+        :func:`chain_marginals_batch` -- one padded ``(N, T, K)`` tensor
+        pass instead of N independent replays.  Callers are responsible
+        for each ``index`` being a genuine crossing
+        (see :meth:`DetectionTrace.first_crossing`).
+        """
+        unaries: list[np.ndarray] = []
+        matched_lists: list[list[str]] = []
+        for sequence, index, _entity in requests:
+            if not 0 <= index < len(sequence):
+                raise IndexError(
+                    f"index {index} outside sequence of length {len(sequence)}"
+                )
+            names = [alert.name for alert in sequence.alerts[: index + 1]]
+            if len(names) > self.max_window:
+                names = names[len(names) - self.max_window :]
+            unary, matched = self._build_unary(names)
+            unaries.append(unary)
+            matched_lists.append(matched)
+        if not unaries:
+            return []
+        transition = self.parameters.transition_log
+        paths = chain_map_decode_batch(unaries, transition)
+        marginals = chain_marginals_batch(unaries, transition)
+        malicious = int(HiddenState.MALICIOUS)
+        detections: list[Detection] = []
+        for (sequence, index, entity), matched, path, posterior in zip(
+            requests, matched_lists, paths, marginals
+        ):
+            trigger = sequence[index].with_entity(entity)
+            detections.append(
+                Detection(
+                    entity=entity,
+                    timestamp=trigger.timestamp,
+                    alert_index=min(index, self.max_window - 1),
+                    trigger=trigger,
+                    state=HiddenState(int(path[-1])),
+                    confidence=float(posterior[-1][malicious]),
+                    matched_patterns=tuple(matched),
+                    state_trajectory=tuple(int(s) for s in path),
+                )
+            )
+        return detections
+
+    def detection_at(
+        self,
+        sequence: AlertSequence,
+        index: int,
+        *,
+        entity: str = "entity:eval",
+    ) -> Detection:
+        """Single-request convenience wrapper over :meth:`detections_at`."""
+        return self.detections_at([(sequence, index, entity)])[0]
+
     # -- convenience -----------------------------------------------------------
     def current_state(self, entity: str) -> HiddenState:
         """MAP state of an entity given everything observed so far."""
@@ -295,6 +536,7 @@ class AttackTagger:
 __all__ = [
     "PatternSpec",
     "Detection",
+    "DetectionTrace",
     "EntityTrack",
     "AttackTagger",
 ]

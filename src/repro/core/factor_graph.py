@@ -117,11 +117,19 @@ class Factor:
 
 
 def _logsumexp(array: np.ndarray, axis: Optional[int] = None) -> np.ndarray:
-    """Numerically stable log-sum-exp."""
+    """Numerically stable log-sum-exp.
+
+    Slices whose maximum is ``-inf`` (all mass zero) reduce to ``-inf``
+    rather than a garbage value anchored at 0; ``+inf`` propagates.
+    Finite inputs -- including the ``_NEG_INF`` sentinel -- follow the
+    usual max-shifted computation bit-for-bit.
+    """
     maximum = np.max(array, axis=axis, keepdims=True)
-    maximum = np.where(np.isfinite(maximum), maximum, 0.0)
-    summed = np.log(np.sum(np.exp(array - maximum), axis=axis, keepdims=True))
-    result = maximum + summed
+    finite = np.isfinite(maximum)
+    safe_max = np.where(finite, maximum, 0.0)
+    with np.errstate(divide="ignore"):
+        summed = np.log(np.sum(np.exp(array - safe_max), axis=axis, keepdims=True))
+    result = np.where(finite, safe_max + summed, maximum)
     if axis is not None:
         result = np.squeeze(result, axis=axis)
     else:
@@ -141,6 +149,8 @@ class FactorGraph:
         self._variables: Dict[str, Variable] = {}
         self._factors: Dict[str, Factor] = {}
         self._var_to_factors: Dict[str, List[str]] = {}
+        self._variables_view: Optional[tuple[Variable, ...]] = None
+        self._factors_view: Optional[tuple[Factor, ...]] = None
 
     # -- construction -----------------------------------------------------
     def add_variable(self, variable: Variable) -> Variable:
@@ -154,6 +164,7 @@ class FactorGraph:
             return existing
         self._variables[variable.name] = variable
         self._var_to_factors[variable.name] = []
+        self._variables_view = None
         return variable
 
     def add_factor(self, factor: Factor) -> Factor:
@@ -168,18 +179,23 @@ class FactorGraph:
         self._factors[factor.name] = factor
         for variable in factor.variables:
             self._var_to_factors[variable.name].append(factor.name)
+        self._factors_view = None
         return factor
 
     # -- introspection ------------------------------------------------------
     @property
-    def variables(self) -> List[Variable]:
-        """All variables, in insertion order."""
-        return list(self._variables.values())
+    def variables(self) -> tuple[Variable, ...]:
+        """All variables, in insertion order (cached between mutations)."""
+        if self._variables_view is None:
+            self._variables_view = tuple(self._variables.values())
+        return self._variables_view
 
     @property
-    def factors(self) -> List[Factor]:
-        """All factors, in insertion order."""
-        return list(self._factors.values())
+    def factors(self) -> tuple[Factor, ...]:
+        """All factors, in insertion order (cached between mutations)."""
+        if self._factors_view is None:
+            self._factors_view = tuple(self._factors.values())
+        return self._factors_view
 
     def variable(self, name: str) -> Variable:
         """Look up a variable by name."""
@@ -472,10 +488,190 @@ def chain_marginals(
     return np.exp(posterior)
 
 
+# ---------------------------------------------------------------------------
+# Batched chain inference
+# ---------------------------------------------------------------------------
+#
+# The offline evaluation sweeps (threshold sweep, window sweep, k-fold)
+# decode hundreds of alert sequences with the *same* transition table.
+# Decoding them one at a time pays the NumPy call overhead per sequence
+# per step; the batch variants below pad the sequences into one
+# ``(N, T, K)`` tensor and run a single vectorised recursion over the
+# shared time axis, masking steps past each sequence's true length.
+# Results match the unbatched functions sequence-by-sequence (verified
+# by the test suite on ragged inputs).
+
+
+def _pad_unary_batch(
+    unary_logs: Sequence[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack ragged ``(T_i, K)`` unary tables into ``(N, T_max, K)`` + lengths."""
+    arrays = [np.asarray(u, dtype=np.float64) for u in unary_logs]
+    if not arrays:
+        return np.zeros((0, 0, 0), dtype=np.float64), np.zeros(0, dtype=np.int64)
+    states = {a.shape[1] if a.ndim == 2 else -1 for a in arrays}
+    if len(states) != 1 or -1 in states:
+        raise ValueError("every unary table must have shape (T_i, K) with a shared K")
+    k = states.pop()
+    lengths = np.array([a.shape[0] for a in arrays], dtype=np.int64)
+    padded = np.zeros((len(arrays), int(lengths.max(initial=0)), k), dtype=np.float64)
+    for i, a in enumerate(arrays):
+        padded[i, : a.shape[0]] = a
+    return padded, lengths
+
+
+def chain_map_decode_batch(
+    unary_logs: Sequence[np.ndarray],
+    pairwise_log: np.ndarray,
+) -> list[np.ndarray]:
+    """Viterbi-decode many chains in one padded tensor pass.
+
+    Parameters
+    ----------
+    unary_logs:
+        Sequence of per-chain log-potential tables, each of shape
+        ``(T_i, K)`` (ragged lengths are fine).
+    pairwise_log:
+        Shared ``(K, K)`` transition log potentials.
+
+    Returns
+    -------
+    list[numpy.ndarray]
+        One integer MAP state path per input chain, matching
+        :func:`chain_map_decode` applied to each chain individually.
+    """
+    pairwise_log = np.asarray(pairwise_log, dtype=np.float64)
+    padded, lengths = _pad_unary_batch(unary_logs)
+    n, t_max, k = padded.shape
+    if pairwise_log.shape != (k, k) and n:
+        raise ValueError("pairwise_log must have shape (K, K)")
+    if n == 0:
+        return []
+    if t_max == 0:
+        return [np.zeros(0, dtype=np.int64) for _ in range(n)]
+    score = padded[:, 0].copy()  # (N, K)
+    backpointers = np.zeros((n, t_max, k), dtype=np.int64)
+    rows = np.arange(n)[:, None]
+    cols = np.arange(k)[None, :]
+    for t in range(1, t_max):
+        candidate = score[:, :, None] + pairwise_log[None, :, :]  # (N, K, K)
+        bp = np.argmax(candidate, axis=1)  # (N, K)
+        backpointers[:, t] = bp
+        new_score = candidate[rows, bp, cols] + padded[:, t]
+        active = (t < lengths)[:, None]
+        score = np.where(active, new_score, score)
+    paths: list[np.ndarray] = []
+    for i, length in enumerate(lengths):
+        length = int(length)
+        path = np.zeros(length, dtype=np.int64)
+        if length == 0:
+            paths.append(path)
+            continue
+        path[-1] = int(np.argmax(score[i]))
+        for t in range(length - 1, 0, -1):
+            path[t - 1] = backpointers[i, t, path[t]]
+        paths.append(path)
+    return paths
+
+
+def chain_marginals_batch(
+    unary_logs: Sequence[np.ndarray],
+    pairwise_log: np.ndarray,
+) -> list[np.ndarray]:
+    """Forward-backward marginals for many chains in one padded pass.
+
+    Same conventions as :func:`chain_map_decode_batch`; returns one
+    ``(T_i, K)`` posterior table per chain, matching
+    :func:`chain_marginals` applied individually.
+    """
+    pairwise_log = np.asarray(pairwise_log, dtype=np.float64)
+    padded, lengths = _pad_unary_batch(unary_logs)
+    n, t_max, k = padded.shape
+    if n == 0:
+        return []
+    if t_max == 0:
+        return [np.zeros((0, k)) for _ in range(n)]
+    forward = np.zeros((n, t_max, k))
+    backward = np.zeros((n, t_max, k))
+    forward[:, 0] = padded[:, 0] - _logsumexp(padded[:, 0], axis=1)[:, None]
+    for t in range(1, t_max):
+        prev = forward[:, t - 1][:, :, None] + pairwise_log[None, :, :]
+        new_row = _logsumexp(prev, axis=1) + padded[:, t]
+        new_row = new_row - _logsumexp(new_row, axis=1)[:, None]
+        active = (t < lengths)[:, None]
+        forward[:, t] = np.where(active, new_row, forward[:, t])
+    # Backward messages; rows at or past each chain's final step stay 0.
+    for t in range(t_max - 2, -1, -1):
+        nxt = pairwise_log[None, :, :] + (padded[:, t + 1] + backward[:, t + 1])[:, None, :]
+        new_row = _logsumexp(nxt, axis=2)
+        new_row = new_row - _logsumexp(new_row, axis=1)[:, None]
+        active = (t + 1 < lengths)[:, None]
+        backward[:, t] = np.where(active, new_row, backward[:, t])
+    posterior = forward + backward
+    posterior = posterior - _logsumexp(posterior, axis=2)[:, :, None]
+    return [np.exp(posterior[i, : int(length)]) for i, length in enumerate(lengths)]
+
+
+def chain_stream_trace_batch(
+    unary_logs: Sequence[np.ndarray],
+    pairwise_log: np.ndarray,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per-prefix streaming outputs for many chains in one padded pass.
+
+    For each chain this computes, at every step ``t``, exactly what a
+    streaming detector would see after observing the prefix ``0..t``:
+
+    * the posterior over the *current* (step-``t``) state given the
+      prefix, i.e. the normalised forward message, and
+    * the final state of the Viterbi decode of the prefix (the argmax
+      of the running Viterbi score vector).
+
+    Only valid when the per-step unary tables are prefix-stable (no
+    evidence relocates onto earlier steps as the chain grows) -- true
+    whenever pattern factors are absent.  Returns a list of
+    ``(prefix_marginals (T_i, K), prefix_map_state (T_i,))`` pairs.
+    """
+    pairwise_log = np.asarray(pairwise_log, dtype=np.float64)
+    padded, lengths = _pad_unary_batch(unary_logs)
+    n, t_max, k = padded.shape
+    if n == 0:
+        return []
+    if t_max == 0:
+        return [(np.zeros((0, k)), np.zeros(0, dtype=np.int64)) for _ in range(n)]
+    alpha = np.zeros((n, t_max, k))
+    map_state = np.zeros((n, t_max), dtype=np.int64)
+    alpha[:, 0] = padded[:, 0] - _logsumexp(padded[:, 0], axis=1)[:, None]
+    score = padded[:, 0].copy()
+    map_state[:, 0] = np.argmax(score, axis=1)
+    rows = np.arange(n)[:, None]
+    cols = np.arange(k)[None, :]
+    for t in range(1, t_max):
+        active = (t < lengths)[:, None]
+        prev = alpha[:, t - 1][:, :, None] + pairwise_log[None, :, :]
+        new_alpha = _logsumexp(prev, axis=1) + padded[:, t]
+        new_alpha = new_alpha - _logsumexp(new_alpha, axis=1)[:, None]
+        alpha[:, t] = np.where(active, new_alpha, alpha[:, t])
+        candidate = score[:, :, None] + pairwise_log[None, :, :]
+        bp = np.argmax(candidate, axis=1)
+        new_score = candidate[rows, bp, cols] + padded[:, t]
+        score = np.where(active, new_score, score)
+        map_state[:, t] = np.where(active[:, 0], np.argmax(score, axis=1), map_state[:, t])
+    traces: list[tuple[np.ndarray, np.ndarray]] = []
+    for i, length in enumerate(lengths):
+        length = int(length)
+        rows_i = alpha[i, :length]
+        marginals = np.exp(rows_i - _logsumexp(rows_i, axis=1)[:, None]) if length else np.zeros((0, k))
+        traces.append((marginals, map_state[i, :length].copy()))
+    return traces
+
+
 __all__ = [
     "Variable",
     "Factor",
     "FactorGraph",
     "chain_map_decode",
     "chain_marginals",
+    "chain_map_decode_batch",
+    "chain_marginals_batch",
+    "chain_stream_trace_batch",
 ]

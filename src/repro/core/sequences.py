@@ -22,6 +22,7 @@ detection model.
 from __future__ import annotations
 
 import dataclasses
+from functools import cached_property
 from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
@@ -85,14 +86,18 @@ class AlertSequence:
         return bool(self.alerts)
 
     # -- derived views -------------------------------------------------------
-    @property
+    # Cached because these sit inside per-alert hot paths (pattern
+    # matching, similarity analyses); the dataclass is frozen and
+    # ``cached_property`` writes straight into ``__dict__``, bypassing
+    # the frozen ``__setattr__``.
+    @cached_property
     def names(self) -> tuple[str, ...]:
-        """Symbolic alert names, in time order."""
+        """Symbolic alert names, in time order (computed once)."""
         return tuple(a.name for a in self.alerts)
 
-    @property
+    @cached_property
     def name_set(self) -> frozenset[str]:
-        """Unique symbolic alert names."""
+        """Unique symbolic alert names (computed once)."""
         return frozenset(a.name for a in self.alerts)
 
     @property
@@ -214,27 +219,70 @@ def fraction_of_pairs_below(matrix: np.ndarray, threshold: float) -> float:
 # Longest common subsequence
 # ---------------------------------------------------------------------------
 
+def _encode_symbols(
+    sequences: Iterable[Sequence[str]], codes: Optional[dict[str, int]] = None
+) -> list[np.ndarray]:
+    """Map symbol sequences to integer arrays (shared code book)."""
+    if codes is None:
+        codes = {}
+    encoded = []
+    for sequence in sequences:
+        encoded.append(
+            np.fromiter(
+                (codes.setdefault(symbol, len(codes)) for symbol in sequence),
+                dtype=np.int32,
+                count=len(sequence),
+            )
+        )
+    return encoded
+
+
+def _lcs_table(a_codes: np.ndarray, b_codes: np.ndarray) -> np.ndarray:
+    """Full LCS dynamic-programming table, one vectorised row at a time.
+
+    Uses the standard identities ``L[i, j] = L[i-1, j-1] + 1`` on a
+    match (always optimal) and ``max(L[i-1, j], L[i, j-1])`` otherwise;
+    because LCS rows are non-decreasing, the in-row dependency reduces
+    to a running maximum (``np.maximum.accumulate``), eliminating the
+    O(len(b)) inner Python loop.
+    """
+    la, lb = a_codes.shape[0], b_codes.shape[0]
+    table = np.zeros((la + 1, lb + 1), dtype=np.int32)
+    for i in range(1, la + 1):
+        prev = table[i - 1]
+        candidate = np.where(b_codes == a_codes[i - 1], prev[:lb] + 1, prev[1:])
+        np.maximum.accumulate(candidate, out=table[i, 1:])
+    return table
+
+
+def _lcs_length_coded(a_codes: np.ndarray, b_codes: np.ndarray) -> int:
+    """LCS length only, with two rolling rows (no table, no backtrack)."""
+    la, lb = a_codes.shape[0], b_codes.shape[0]
+    if la == 0 or lb == 0:
+        return 0
+    if la < lb:  # iterate over the shorter sequence
+        a_codes, b_codes, la, lb = b_codes, a_codes, lb, la
+    prev = np.zeros(lb + 1, dtype=np.int32)
+    row = np.zeros(lb + 1, dtype=np.int32)
+    for i in range(la):
+        candidate = np.where(b_codes == a_codes[i], prev[:lb] + 1, prev[1:])
+        np.maximum.accumulate(candidate, out=row[1:])
+        prev, row = row, prev
+    return int(prev[-1])
+
+
 def longest_common_subsequence(a: Sequence[str], b: Sequence[str]) -> tuple[str, ...]:
     """Longest common (not necessarily contiguous) subsequence of two
     symbol sequences.
 
-    Classic dynamic program, with the inner table held in a NumPy array
-    to keep the O(len(a) * len(b)) loop cheap for the sequence lengths
-    seen in incidents (tens of alerts).
+    Classic dynamic program with a vectorised row update (see
+    :func:`_lcs_table`); only the backtrack walks element-by-element.
     """
     la, lb = len(a), len(b)
     if la == 0 or lb == 0:
         return ()
-    table = np.zeros((la + 1, lb + 1), dtype=np.int32)
-    for i in range(1, la + 1):
-        ai = a[i - 1]
-        row = table[i]
-        prev = table[i - 1]
-        for j in range(1, lb + 1):
-            if ai == b[j - 1]:
-                row[j] = prev[j - 1] + 1
-            else:
-                row[j] = max(prev[j], row[j - 1])
+    a_codes, b_codes = _encode_symbols([a, b])
+    table = _lcs_table(a_codes, b_codes)
     # Backtrack.
     result: list[str] = []
     i, j = la, lb
@@ -250,15 +298,26 @@ def longest_common_subsequence(a: Sequence[str], b: Sequence[str]) -> tuple[str,
     return tuple(reversed(result))
 
 
+def lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    """Length of the longest common subsequence (no backtrack, O(min) memory)."""
+    a_codes, b_codes = _encode_symbols([a, b])
+    return _lcs_length_coded(a_codes, b_codes)
+
+
 def lcs_length_matrix(sequences: Sequence[AlertSequence]) -> np.ndarray:
-    """Matrix of pairwise LCS lengths between incident alert sequences."""
+    """Matrix of pairwise LCS lengths between incident alert sequences.
+
+    Sequences are integer-encoded once against a shared code book and
+    each pair runs the length-only rolling computation -- no
+    subsequence is materialised just to take its length.
+    """
     n = len(sequences)
     out = np.zeros((n, n), dtype=np.int32)
-    names = [seq.names for seq in sequences]
+    encoded = _encode_symbols([seq.names for seq in sequences])
     for i in range(n):
-        out[i, i] = len(names[i])
+        out[i, i] = encoded[i].shape[0]
         for j in range(i + 1, n):
-            length = len(longest_common_subsequence(names[i], names[j]))
+            length = _lcs_length_coded(encoded[i], encoded[j])
             out[i, j] = length
             out[j, i] = length
     return out
@@ -328,6 +387,7 @@ __all__ = [
     "similarity_cdf",
     "fraction_of_pairs_below",
     "longest_common_subsequence",
+    "lcs_length",
     "lcs_length_matrix",
     "is_subsequence",
     "subsequence_positions",

@@ -1,0 +1,318 @@
+"""Incremental streaming inference for the per-entity chain model.
+
+The seed implementation of :class:`repro.core.attack_tagger.AttackTagger`
+re-ran the *entire* chain decode -- Viterbi, forward-backward, and every
+pattern-prefix rescan -- from scratch on every alert, so the cost of
+consuming one alert grew linearly with the entity's history and the cost
+of a whole stream grew quadratically.  This module holds the per-entity
+state that makes each new alert cheap:
+
+* :class:`PatternCursor` -- per-pattern two-pointer match state.  The
+  greedy subsequence match of a pattern prefix is *incremental*:
+  appending an alert can only advance the cursor by one symbol, never
+  change earlier greedy choices, so ``matched_prefix_length`` and the
+  position at which the matched prefix ends are maintained in O(1) per
+  alert instead of O(T * L) rescans.
+* :class:`StreamingDecoder` -- checkpointed forward recursions.  For
+  every step it stores the running Viterbi score vector, the
+  backpointer row, and the normalised forward log-alpha (the sum-product
+  forward message).  Appending an alert extends all three by one O(K^2)
+  step.  The posterior over the entity's *current* state is exactly the
+  normalised forward message (the backward message at the final step is
+  identically zero), so no backward pass is needed on the hot path.
+
+**Pattern-bonus relocation.**  Pattern evidence is folded into the
+malicious-state unary potential of the step where the matched prefix
+currently *ends* (see ``AttackTagger._build_unary``).  When a pattern
+advances, its bonus moves from the old end step to the new final step --
+an edit to a *past* unary row.  The decoder tracks the earliest
+invalidated index per update and recomputes the forward recursions only
+from there; in practice the old end step is within the last few alerts,
+so an update touches one or two steps.  Only window eviction (the
+``max_window`` slide) discards the prefix the recursions are anchored
+on, and triggers a full O(W * K^2) rebuild.
+
+Per-alert complexity (T = history length, K = states, P = patterns,
+L = pattern length, W = max window):
+
+===============================  =====================  ==============
+quantity                         seed (re-decode)        streaming
+===============================  =====================  ==============
+pattern matching                 O(P * T * L)           O(advances)
+Viterbi extension                O(T * K^2)             O(K^2)
+posterior of current state       O(T * K^2)             O(K^2)
+bonus relocation                 (included above)       O(d * K^2) [1]_
+window eviction                  O(W * K^2)             O(W * K^2)
+full MAP trajectory              O(T * K^2)             O(T) backtrack
+===============================  =====================  ==============
+
+.. [1] ``d`` = distance from the earliest invalidated step to the end.
+
+Every recursion reproduces the exact arithmetic of
+:func:`repro.core.factor_graph.chain_map_decode` and
+:func:`repro.core.factor_graph.chain_marginals`, so decodes are
+bit-identical to the seed path (asserted by the equivalence test
+suite).  The next scaling step -- sharding entities across processes --
+only needs to move whole :class:`StreamingDecoder` instances, since all
+state is per-entity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from .factor_graph import _logsumexp, _normalize_log, chain_marginals
+from .factors import FactorParameters
+from .states import HiddenState, NUM_STATES
+
+_MALICIOUS = int(HiddenState.MALICIOUS)
+_INITIAL_CAPACITY = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class WeightedPattern:
+    """A catalogue pattern with its resolved (positive) factor weight."""
+
+    name: str
+    names: tuple[str, ...]
+    weight: float
+
+
+class PatternCursor:
+    """Two-pointer greedy match state of one pattern against a stream.
+
+    ``matched`` is the length of the longest pattern prefix contained in
+    the alerts seen so far (equal to
+    :func:`repro.core.sequences.matched_prefix_length`), ``end_index``
+    the stream index where that greedy match ends.
+    """
+
+    __slots__ = ("matched", "end_index")
+
+    def __init__(self) -> None:
+        self.matched = 0
+        self.end_index = -1
+
+    def reset(self) -> None:
+        self.matched = 0
+        self.end_index = -1
+
+
+class StreamingDecoder:
+    """Incremental chain decoder for one monitored entity.
+
+    Parameters
+    ----------
+    parameters:
+        The factor parameters (observation/transition/initial tables and
+        the pattern-bonus schedule).
+    patterns:
+        Active patterns with their resolved positive weights, in
+        catalogue order (the order bonuses are summed in, to keep
+        floating-point results identical to the batch rebuild).
+    """
+
+    def __init__(
+        self,
+        parameters: FactorParameters,
+        patterns: Sequence[WeightedPattern] = (),
+    ) -> None:
+        self.parameters = parameters
+        self.patterns: tuple[WeightedPattern, ...] = tuple(patterns)
+        self._pairwise = parameters.transition_log
+        self._arange_k = np.arange(NUM_STATES)
+        self._cursors: List[PatternCursor] = [PatternCursor() for _ in self.patterns]
+        # symbol -> indices of patterns whose next expected symbol is it
+        self._waiting: Dict[str, List[int]] = {}
+        self._complete: Set[int] = set()
+        # step index -> {pattern index -> bonus} for bonuses landing there
+        self._bonus_at: Dict[int, Dict[int, float]] = {}
+        self._length = 0
+        capacity = _INITIAL_CAPACITY
+        self._base = np.zeros((capacity, NUM_STATES))
+        self._unary = np.zeros((capacity, NUM_STATES))
+        self._score = np.zeros((capacity, NUM_STATES))
+        self._alpha = np.zeros((capacity, NUM_STATES))
+        self._backpointers = np.zeros((capacity, NUM_STATES), dtype=np.int64)
+        self._names: List[str] = []
+        self._seed_waiting()
+
+    # -- bookkeeping -------------------------------------------------------
+    def _seed_waiting(self) -> None:
+        self._waiting.clear()
+        for index, pattern in enumerate(self.patterns):
+            if pattern.names:
+                self._waiting.setdefault(pattern.names[0], []).append(index)
+
+    def _grow(self, needed: int) -> None:
+        capacity = self._base.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for attr in ("_base", "_unary", "_score", "_alpha", "_backpointers"):
+            old = getattr(self, attr)
+            fresh = np.zeros((capacity,) + old.shape[1:], dtype=old.dtype)
+            fresh[: old.shape[0]] = old
+            setattr(self, attr, fresh)
+
+    @property
+    def length(self) -> int:
+        """Number of alerts currently folded into the chain."""
+        return self._length
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Alert names currently folded into the chain."""
+        return tuple(self._names)
+
+    def reset(self) -> None:
+        """Forget the whole stream (capacity is retained)."""
+        self._length = 0
+        self._names.clear()
+        self._bonus_at.clear()
+        self._complete.clear()
+        for cursor in self._cursors:
+            cursor.reset()
+        self._seed_waiting()
+
+    def rebuild(self, names: Sequence[str]) -> None:
+        """Re-anchor on a new window (used after ``max_window`` eviction)."""
+        self.reset()
+        for name in names:
+            self.append(name)
+
+    # -- incremental update -------------------------------------------------
+    def append(self, name: str) -> None:
+        """Fold one alert into the chain: O(K^2 + pattern advances)."""
+        t = self._length
+        self._grow(t + 1)
+        parameters = self.parameters
+        base_row = parameters.observation_row(name).copy()
+        if t == 0:
+            base_row += parameters.initial_log
+        self._base[t] = base_row
+        self._names.append(name)
+        invalid_from = t
+        dirty = {t}
+        advancing = self._waiting.pop(name, None)
+        if advancing:
+            for index in advancing:
+                cursor = self._cursors[index]
+                pattern = self.patterns[index]
+                if cursor.matched > 0:
+                    old = self._bonus_at.get(cursor.end_index)
+                    if old is not None and index in old:
+                        del old[index]
+                        if not old:
+                            del self._bonus_at[cursor.end_index]
+                        dirty.add(cursor.end_index)
+                        if cursor.end_index < invalid_from:
+                            invalid_from = cursor.end_index
+                cursor.matched += 1
+                cursor.end_index = t
+                bonus = parameters.pattern_bonus(
+                    cursor.matched, len(pattern.names), pattern.weight
+                )
+                if bonus > 0.0:
+                    self._bonus_at.setdefault(t, {})[index] = bonus
+                if cursor.matched < len(pattern.names):
+                    self._waiting.setdefault(pattern.names[cursor.matched], []).append(index)
+                else:
+                    self._complete.add(index)
+        self._length = t + 1
+        for step in dirty:
+            self._refresh_unary(step)
+        self._recompute_forward(invalid_from)
+
+    def _refresh_unary(self, step: int) -> None:
+        """Rebuild one effective unary row: base + bonuses in pattern order."""
+        row = self._base[step].copy()
+        bonuses = self._bonus_at.get(step)
+        if bonuses:
+            for index in sorted(bonuses):
+                row[_MALICIOUS] += bonuses[index]
+        self._unary[step] = row
+
+    def _recompute_forward(self, start: int) -> None:
+        """Extend/repair the forward recursions from ``start`` to the end.
+
+        Each step reproduces exactly one loop iteration of
+        ``chain_map_decode`` (Viterbi score + backpointers) and
+        ``chain_marginals`` (normalised forward message).
+        """
+        unary = self._unary
+        score = self._score
+        alpha = self._alpha
+        backpointers = self._backpointers
+        pairwise = self._pairwise
+        arange_k = self._arange_k
+        for t in range(start, self._length):
+            if t == 0:
+                score[0] = unary[0]
+                backpointers[0] = 0
+                alpha[0] = _normalize_log(unary[0])
+                continue
+            candidate = score[t - 1][:, None] + pairwise
+            bp = np.argmax(candidate, axis=0)
+            backpointers[t] = bp
+            score[t] = candidate[bp, arange_k] + unary[t]
+            prev = alpha[t - 1][:, None] + pairwise
+            alpha[t] = _normalize_log(_logsumexp(prev, axis=0) + unary[t])
+
+    # -- read-out ------------------------------------------------------------
+    def final_marginal(self) -> np.ndarray:
+        """Posterior over the current state (normalised forward message).
+
+        Matches ``chain_marginals(unary, pairwise)[-1]`` bit-for-bit.
+        """
+        if self._length == 0:
+            raise ValueError("decoder is empty")
+        last = self._alpha[self._length - 1]
+        return np.exp(last - _logsumexp(last))
+
+    def final_malicious_probability(self) -> float:
+        """Posterior probability that the entity is currently malicious."""
+        return float(self.final_marginal()[_MALICIOUS])
+
+    def final_state(self) -> int:
+        """Final state of the MAP trajectory (``argmax`` of the Viterbi score)."""
+        if self._length == 0:
+            raise ValueError("decoder is empty")
+        return int(np.argmax(self._score[self._length - 1]))
+
+    def map_path(self) -> np.ndarray:
+        """Full MAP state trajectory via backpointer backtrack (O(T))."""
+        steps = self._length
+        path = np.zeros(steps, dtype=np.int64)
+        if steps == 0:
+            return path
+        path[-1] = int(np.argmax(self._score[steps - 1]))
+        backpointers = self._backpointers
+        for t in range(steps - 1, 0, -1):
+            path[t - 1] = backpointers[t, path[t]]
+        return path
+
+    def matched_pattern_names(self) -> list[str]:
+        """Names of fully matched patterns, in catalogue order."""
+        return [self.patterns[index].name for index in sorted(self._complete)]
+
+    def matched_prefix_lengths(self) -> list[int]:
+        """Current matched-prefix length of every tracked pattern."""
+        return [cursor.matched for cursor in self._cursors]
+
+    def unary_table(self) -> np.ndarray:
+        """Copy of the effective per-step unary log potentials (T, K)."""
+        return self._unary[: self._length].copy()
+
+    def marginals(self) -> np.ndarray:
+        """Full per-step posteriors (runs the O(T * K^2) backward pass)."""
+        if self._length == 0:
+            return np.zeros((0, NUM_STATES))
+        return chain_marginals(self._unary[: self._length], self._pairwise)
+
+
+__all__ = ["PatternCursor", "StreamingDecoder", "WeightedPattern"]

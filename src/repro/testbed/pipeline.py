@@ -21,6 +21,7 @@ measured on the same run.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Iterable, Optional, Sequence
 
 from ..core.alerts import Alert, AlertVocabulary, DEFAULT_VOCABULARY
@@ -43,6 +44,14 @@ class PipelineStats:
     filtered_alerts: int = 0
     detections: int = 0
     responses: int = 0
+    detection_seconds: float = 0.0
+
+    @property
+    def detection_throughput(self) -> float:
+        """Filtered alerts consumed per second spent in the detection/response loop."""
+        if self.detection_seconds <= 0.0:
+            return 0.0
+        return self.filtered_alerts / self.detection_seconds
 
     @property
     def normalization_drop_rate(self) -> float:
@@ -128,6 +137,7 @@ class TestbedPipeline:
         for alert in filtered:
             self.mirror.publish_alert(alert)
         new_detections: list[Detection] = []
+        started = time.perf_counter()
         for name, detector in self.detectors.items():
             for alert in filtered:
                 detection = detector.observe(alert)  # type: ignore[attr-defined]
@@ -138,6 +148,7 @@ class TestbedPipeline:
                     new_detections.append(detection)
                     actions = self.responder.handle_detection(detection)
                     self.stats.responses += len(actions)
+        self.stats.detection_seconds += time.perf_counter() - started
         self.stats.detections += len(new_detections)
         return new_detections
 
@@ -174,6 +185,7 @@ class TestbedPipeline:
             "blocked_sources": float(len(self.router.history)),
             "normalization_drop_rate": self.stats.normalization_drop_rate,
             "filter_reduction": self.stats.filter_reduction,
+            "detection_throughput": self.stats.detection_throughput,
         }
 
 

@@ -1,0 +1,334 @@
+"""Exact-equivalence regression suite for the incremental inference engine.
+
+The streaming engine must be a pure performance optimisation: for every
+stream it must produce the same unary tables, decodes, marginals,
+detections, and confidences as the seed re-decode-everything path (kept
+available as ``AttackTagger(engine="naive")``).  These tests assert that
+equivalence alert-by-alert on randomized sequences, including window
+eviction and late pattern-bonus relocation, and that the batched chain
+functions match their unbatched counterparts on ragged inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AttackTagger,
+    EvaluationExample,
+    StreamingDecoder,
+    WeightedPattern,
+    default_parameters,
+    evaluate_detector,
+    threshold_sweep,
+    window_sweep,
+)
+from repro.core.alerts import Alert, DEFAULT_VOCABULARY
+from repro.core.factor_graph import (
+    _logsumexp,
+    chain_map_decode,
+    chain_map_decode_batch,
+    chain_marginals,
+    chain_marginals_batch,
+    chain_stream_trace_batch,
+)
+from repro.core.sequences import AlertSequence
+from repro.core.states import NUM_STATES, HiddenState
+from repro.incidents import DEFAULT_CATALOGUE
+
+ALL_NAMES = [spec.name for spec in DEFAULT_VOCABULARY]
+
+
+def _random_stream(rng, length, entity="entity:x"):
+    return [
+        Alert(float(i), ALL_NAMES[rng.integers(len(ALL_NAMES))], entity)
+        for i in range(length)
+    ]
+
+
+def _pair(max_window, **kwargs):
+    streaming = AttackTagger(
+        patterns=list(DEFAULT_CATALOGUE), max_window=max_window, engine="streaming", **kwargs
+    )
+    naive = AttackTagger(
+        patterns=list(DEFAULT_CATALOGUE), max_window=max_window, engine="naive", **kwargs
+    )
+    return streaming, naive
+
+
+class TestStreamingEngineEquivalence:
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            AttackTagger(engine="psychic")
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_alert_by_alert_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        stream = _random_stream(rng, int(rng.integers(5, 50)))
+        streaming, naive = _pair(max_window=64)
+        for alert in stream:
+            ds, dn = streaming.observe(alert), naive.observe(alert)
+            assert (ds is None) == (dn is None)
+            if ds is not None:
+                assert ds.alert_index == dn.alert_index
+                assert ds.state is dn.state
+                assert ds.confidence == dn.confidence
+                assert ds.matched_patterns == dn.matched_patterns
+                assert ds.state_trajectory == dn.state_trajectory
+            states_s, marginal_s, matched_s = streaming.infer("entity:x")
+            states_n, marginal_n, matched_n = naive.infer("entity:x")
+            assert np.array_equal(states_s, states_n)
+            np.testing.assert_allclose(marginal_s, marginal_n, rtol=0, atol=1e-12)
+            assert matched_s == matched_n
+
+    @pytest.mark.parametrize("max_window", [2, 3, 5, 8])
+    def test_window_eviction_equivalence(self, max_window):
+        """The window slide re-anchors the decoder; results must not drift."""
+        rng = np.random.default_rng(max_window)
+        stream = _random_stream(rng, 4 * max_window + 3)
+        streaming, naive = _pair(max_window=max_window, detection_threshold=0.999)
+        for alert in stream:
+            streaming.observe(alert)
+            naive.observe(alert)
+            states_s, marginal_s, _ = streaming.infer("entity:x")
+            states_n, marginal_n, _ = naive.infer("entity:x")
+            assert np.array_equal(states_s, states_n)
+            np.testing.assert_allclose(marginal_s, marginal_n, rtol=0, atol=1e-12)
+
+    def test_late_pattern_bonus_relocation(self):
+        """Extending a match moves its bonus off a *past* step.
+
+        The pattern's second symbol arrives several alerts after the
+        first, so the decoder must remove the partial-match bonus from
+        the old end index and recompute forward messages from there.
+        """
+        parameters = default_parameters()
+        patterns = list(DEFAULT_CATALOGUE)
+        chosen = patterns[0]
+        assert len(chosen.names) >= 2
+        filler = "alert_login_normal"
+        names = [chosen.names[0]] + [filler] * 4 + [chosen.names[1]]
+        stream = [Alert(float(i), name, "entity:x") for i, name in enumerate(names)]
+        streaming = AttackTagger(parameters, patterns=patterns, engine="streaming")
+        naive = AttackTagger(parameters, patterns=patterns, engine="naive")
+        for alert in stream:
+            streaming.observe(alert)
+            naive.observe(alert)
+        # _decoder_for re-syncs lazily (observe drops the decoder once
+        # the entity is detected, to keep post-detection alerts cheap).
+        decoder = streaming._decoder_for(streaming.track("entity:x"))
+        unary, _ = naive._build_unary([a.name for a in naive.track("entity:x").alerts])
+        np.testing.assert_array_equal(decoder.unary_table(), unary)
+        states_s, marginal_s, _ = streaming.infer("entity:x")
+        states_n, marginal_n, _ = naive.infer("entity:x")
+        assert np.array_equal(states_s, states_n)
+        np.testing.assert_allclose(marginal_s, marginal_n, rtol=0, atol=1e-12)
+
+    def test_streaming_unary_matches_naive_build(self):
+        """The incrementally maintained unary table equals the seed rebuild."""
+        rng = np.random.default_rng(11)
+        streaming, naive = _pair(max_window=64)
+        for alert in _random_stream(rng, 40):
+            streaming.observe(alert)
+            naive.observe(alert)
+        decoder = streaming._decoder_for(streaming.track("entity:x"))
+        names = [a.name for a in naive.track("entity:x").alerts]
+        unary, _ = naive._build_unary(names)
+        np.testing.assert_array_equal(decoder.unary_table(), unary)
+
+    def test_decoder_matches_chain_functions_stepwise(self):
+        """StreamingDecoder == chain_map_decode/chain_marginals per prefix."""
+        rng = np.random.default_rng(5)
+        parameters = default_parameters()
+        patterns = [
+            WeightedPattern(p.name, tuple(p.names), 2.0) for p in list(DEFAULT_CATALOGUE)[:10]
+        ]
+        decoder = StreamingDecoder(parameters, patterns)
+        for step in range(30):
+            decoder.append(ALL_NAMES[rng.integers(len(ALL_NAMES))])
+            unary = decoder.unary_table()
+            expected_path = chain_map_decode(unary, parameters.transition_log)
+            expected_marginals = chain_marginals(unary, parameters.transition_log)
+            assert np.array_equal(decoder.map_path(), expected_path)
+            assert decoder.final_state() == int(expected_path[-1])
+            np.testing.assert_allclose(
+                decoder.final_marginal(), expected_marginals[-1], rtol=0, atol=1e-12
+            )
+            np.testing.assert_allclose(
+                decoder.marginals(), expected_marginals, rtol=0, atol=1e-12
+            )
+
+    def test_run_sequence_equivalence_on_generated_corpus(self, corpus_examples):
+        """Acceptance criterion: identical detections on the seed-7 corpus."""
+        streaming, naive = _pair(max_window=64)
+        for example in corpus_examples:
+            ds = streaming.run_sequence(example.sequence)
+            dn = naive.run_sequence(example.sequence)
+            assert (ds is None) == (dn is None)
+            if ds is not None:
+                assert ds.alert_index == dn.alert_index
+                assert abs(ds.confidence - dn.confidence) < 1e-9
+                assert ds.state_trajectory == dn.state_trajectory
+
+
+@pytest.fixture(scope="module")
+def corpus_examples():
+    from repro.incidents import IncidentGenerator
+
+    generator = IncidentGenerator(seed=7)
+    corpus = generator.generate_corpus()
+    examples = [
+        EvaluationExample(incident.sequence, True, incident.incident_id)
+        for incident in list(corpus)[:60]
+    ]
+    benign = IncidentGenerator(seed=99).generate_benign_sequences(30)
+    examples.extend(
+        EvaluationExample(sequence, False, f"benign-{i}") for i, sequence in enumerate(benign)
+    )
+    return examples
+
+
+class TestBatchChainFunctions:
+    def _ragged_unaries(self, rng, n=7, k=NUM_STATES):
+        lengths = [int(rng.integers(1, 25)) for _ in range(n)]
+        return [rng.normal(size=(length, k)) * 3.0 for length in lengths]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_map_decode_batch_matches_unbatched(self, seed):
+        rng = np.random.default_rng(seed)
+        unaries = self._ragged_unaries(rng)
+        pairwise = rng.normal(size=(NUM_STATES, NUM_STATES))
+        batch = chain_map_decode_batch(unaries, pairwise)
+        for unary, path in zip(unaries, batch):
+            assert np.array_equal(path, chain_map_decode(unary, pairwise))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_marginals_batch_matches_unbatched(self, seed):
+        rng = np.random.default_rng(seed)
+        unaries = self._ragged_unaries(rng)
+        pairwise = rng.normal(size=(NUM_STATES, NUM_STATES))
+        batch = chain_marginals_batch(unaries, pairwise)
+        for unary, posterior in zip(unaries, batch):
+            np.testing.assert_allclose(
+                posterior, chain_marginals(unary, pairwise), rtol=0, atol=1e-9
+            )
+
+    def test_stream_trace_batch_matches_prefix_decodes(self):
+        rng = np.random.default_rng(9)
+        unaries = self._ragged_unaries(rng, n=5)
+        pairwise = rng.normal(size=(NUM_STATES, NUM_STATES))
+        for unary, (marginals, states) in zip(
+            unaries, chain_stream_trace_batch(unaries, pairwise)
+        ):
+            for t in range(unary.shape[0]):
+                prefix = unary[: t + 1]
+                np.testing.assert_allclose(
+                    marginals[t], chain_marginals(prefix, pairwise)[-1], rtol=0, atol=1e-9
+                )
+                assert states[t] == chain_map_decode(prefix, pairwise)[-1]
+
+    def test_empty_batches(self):
+        pairwise = np.zeros((NUM_STATES, NUM_STATES))
+        assert chain_map_decode_batch([], pairwise) == []
+        assert chain_marginals_batch([], pairwise) == []
+        empties = [np.zeros((0, NUM_STATES))]
+        assert chain_map_decode_batch(empties, pairwise)[0].size == 0
+        assert chain_marginals_batch(empties, pairwise)[0].shape == (0, NUM_STATES)
+
+
+class TestLogsumexpEdgeCases:
+    def test_all_neg_inf_slice_is_neg_inf(self):
+        array = np.array([[-np.inf, -np.inf], [0.0, 1.0]])
+        result = _logsumexp(array, axis=1)
+        assert result[0] == -np.inf
+        assert np.isfinite(result[1])
+
+    def test_scalar_all_neg_inf(self):
+        assert _logsumexp(np.array([-np.inf, -np.inf])) == -np.inf
+
+    def test_finite_values_unchanged(self):
+        rng = np.random.default_rng(0)
+        array = rng.normal(size=(4, 5))
+        expected = np.log(np.exp(array).sum(axis=1))
+        np.testing.assert_allclose(_logsumexp(array, axis=1), expected, atol=1e-12)
+
+
+class _OpaqueDetector:
+    """Hides an AttackTagger from isinstance checks.
+
+    Forces ``window_sweep`` onto its generic per-length branch so the
+    trace fast path is compared against a genuinely independent
+    implementation, not against itself.
+    """
+
+    def __init__(self, tagger):
+        self._tagger = tagger
+
+    def run_sequence(self, sequence, entity=None):
+        return self._tagger.run_sequence(sequence, entity=entity)
+
+
+class TestSweepFastPaths:
+    def test_window_sweep_fast_matches_generic(self, corpus_examples):
+        examples = corpus_examples[:40]
+        lengths = [1, 2, 3, 5, 8]
+        fast = window_sweep(
+            lambda: AttackTagger(patterns=list(DEFAULT_CATALOGUE)), examples, lengths
+        )
+        generic = window_sweep(
+            lambda: _OpaqueDetector(
+                AttackTagger(patterns=list(DEFAULT_CATALOGUE), engine="naive")
+            ),
+            examples,
+            lengths,
+        )
+        for length in lengths:
+            fast_summary = fast[length].summary()
+            generic_summary = generic[length].summary()
+            for key, value in fast_summary.items():
+                assert value == pytest.approx(generic_summary[key], abs=1e-9), (length, key)
+
+    def test_threshold_sweep_matches_fixed_threshold_runs(self, corpus_examples):
+        examples = corpus_examples[:30]
+        tagger = AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+        swept = threshold_sweep(tagger, examples, [0.4, 0.7])
+        for threshold, report in swept.items():
+            reference = evaluate_detector(
+                AttackTagger(
+                    patterns=list(DEFAULT_CATALOGUE),
+                    detection_threshold=threshold,
+                    engine="naive",
+                ),
+                examples,
+            )
+            for key, value in report.summary().items():
+                assert value == pytest.approx(reference.summary()[key], abs=1e-9), (
+                    threshold,
+                    key,
+                )
+
+    def test_threshold_sweep_rejects_non_tagger(self):
+        with pytest.raises(TypeError):
+            threshold_sweep(object(), [], [0.5])
+
+    def test_traces_batch_path_matches_replay(self):
+        """Pattern-free taggers take the (N, T, K) tensor path."""
+        rng = np.random.default_rng(21)
+        sequences = [
+            AlertSequence.from_names(
+                [ALL_NAMES[rng.integers(len(ALL_NAMES))] for _ in range(rng.integers(1, 20))]
+            )
+            for _ in range(12)
+        ]
+        tagger = AttackTagger()  # no patterns -> batched path
+        batched = tagger.detection_traces(sequences)
+        for sequence, trace in zip(sequences, batched):
+            replayed = tagger.detection_trace(sequence)
+            np.testing.assert_allclose(
+                trace.malicious_probability,
+                replayed.malicious_probability,
+                rtol=0,
+                atol=1e-9,
+            )
+            assert np.array_equal(trace.map_is_malicious, replayed.map_is_malicious)
