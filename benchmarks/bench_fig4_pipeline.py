@@ -52,7 +52,11 @@ def test_fig4_testbed_workflow(benchmark, trained_parameters):
 
     print("\nFig. 4: testbed workflow counters")
     for key, value in summary.items():
-        print(f"  {key:<26} {value:,.2f}")
+        if isinstance(value, dict):
+            detail = ", ".join(f"{stage}={seconds:.3f}s" for stage, seconds in value.items())
+            print(f"  {key:<26} {detail}")
+        else:
+            print(f"  {key:<26} {value:,.2f}")
 
     # Alert filtering removes the bulk of the scan noise before detection.
     assert summary["filtered_alerts"] < summary["normalized_alerts"] * 0.6

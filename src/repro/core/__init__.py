@@ -18,6 +18,7 @@ from .alerts import (
 )
 from .attack_tagger import AttackTagger, Detection, DetectionTrace, EntityTrack, PatternSpec
 from .baselines import CriticalAlertDetector, NaiveBayesDetector, NaiveBayesParameters
+from .detector import Detector
 from .evaluation import (
     ConfusionCounts,
     CrossValidationResult,
@@ -117,6 +118,7 @@ __all__ = [
     "label_sequence_from_stages",
     "train_from_incidents",
     # detectors
+    "Detector",
     "AttackTagger",
     "Detection",
     "DetectionTrace",

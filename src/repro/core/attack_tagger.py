@@ -369,6 +369,45 @@ class AttackTagger:
                 detections.append(detection)
         return detections
 
+    def observe_batch(self, alerts: Iterable[Alert]) -> list[Detection]:
+        """Batch stage entry point of the :class:`repro.core.detector.Detector` protocol."""
+        return self.observe_many(alerts)
+
+    def clone(self) -> "AttackTagger":
+        """A fresh, stateless tagger with the same configuration.
+
+        Used by the sharded detector pool to stamp out one independent
+        detector per shard: parameters and the pattern catalogue are
+        shared (they are read-only on the inference path), per-entity
+        state starts empty.
+        """
+        return AttackTagger(
+            self.parameters,
+            self.patterns,
+            detection_threshold=self.detection_threshold,
+            max_window=self.max_window,
+            default_pattern_weight=self.default_pattern_weight,
+            vocabulary=self.vocabulary,
+            engine=self.engine,
+        )
+
+    # -- shard state transfer ----------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle-safe shard state: per-entity decoder caches are dropped.
+
+        A :class:`~repro.core.streaming.StreamingDecoder` is a pure
+        function of the track's (window-bounded) alert list, so
+        ``_decoder_for`` rebuilds it lazily and bit-identically after
+        unpickling.  Dropping the caches keeps the transferred state
+        small when whole shards migrate between worker processes.
+        """
+        state = self.__dict__.copy()
+        state["_tracks"] = {
+            entity: dataclasses.replace(track, decoder=None)
+            for entity, track in self._tracks.items()
+        }
+        return state
+
     def run_sequence(self, sequence: AlertSequence, entity: Optional[str] = None) -> Optional[Detection]:
         """Run a full stored sequence through a fresh per-entity track.
 

@@ -86,6 +86,10 @@ class CriticalAlertDetector:
                 out.append(d)
         return out
 
+    def observe_batch(self, alerts: Iterable[Alert]) -> list[Detection]:
+        """Batch stage entry point of the :class:`repro.core.detector.Detector` protocol."""
+        return self.observe_many(alerts)
+
     def run_sequence(self, sequence: AlertSequence, entity: Optional[str] = None) -> Optional[Detection]:
         """Offline helper mirroring :meth:`AttackTagger.run_sequence`."""
         entity = entity or (sequence[0].entity if len(sequence) else "entity:eval")
@@ -209,6 +213,10 @@ class NaiveBayesDetector:
             if d is not None:
                 out.append(d)
         return out
+
+    def observe_batch(self, alerts: Iterable[Alert]) -> list[Detection]:
+        """Batch stage entry point of the :class:`repro.core.detector.Detector` protocol."""
+        return self.observe_many(alerts)
 
     def run_sequence(self, sequence: AlertSequence, entity: Optional[str] = None) -> Optional[Detection]:
         """Offline helper mirroring :meth:`AttackTagger.run_sequence`."""

@@ -1,0 +1,63 @@
+"""The formal streaming-detector protocol.
+
+Every detection model deployed on the testbed -- the factor-graph
+:class:`~repro.core.attack_tagger.AttackTagger`, the
+:class:`~repro.core.rule_based.RuleBasedDetector`, and the
+:class:`~repro.core.baselines.CriticalAlertDetector` /
+:class:`~repro.core.baselines.NaiveBayesDetector` comparison baselines
+-- exposes the same per-entity streaming surface, and the pipeline's
+detection stage (including the sharded pool in
+:mod:`repro.testbed.sharding`) is written against that surface rather
+than any concrete model.  This module states the contract once, as a
+:class:`typing.Protocol`, so new detectors and detector *containers*
+(a :class:`~repro.testbed.sharding.ShardedDetectorPool` is itself a
+``Detector``) can be checked structurally::
+
+    assert isinstance(my_detector, Detector)
+
+The contract is deliberately per-entity: all mutable state must be
+keyed by ``alert.entity`` and entities must never share state, which is
+the invariant that makes hash-sharding entities across workers exact
+(see ``README.md``, "shard routing invariant").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Protocol, runtime_checkable
+
+from .alerts import Alert
+from .attack_tagger import Detection
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """Structural protocol for streaming per-entity detectors.
+
+    Implementations must keep all mutable inference state keyed by
+    entity so that two detectors fed disjoint entity sub-streams behave
+    exactly like one detector fed the union stream.
+    """
+
+    @property
+    def detections(self) -> list[Detection]:
+        """All detections emitted so far, in emission order."""
+        ...
+
+    def observe(self, alert: Alert) -> Optional[Detection]:
+        """Consume one alert; return a detection if one fires."""
+        ...
+
+    def observe_batch(self, alerts: Iterable[Alert]) -> list[Detection]:
+        """Consume a batch of alerts in order; return fired detections."""
+        ...
+
+    def reset(self) -> None:
+        """Forget all per-entity state and past detections."""
+        ...
+
+    def reset_entity(self, entity: str) -> None:
+        """Forget one entity's state."""
+        ...
+
+
+__all__ = ["Detector"]

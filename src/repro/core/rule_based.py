@@ -241,6 +241,10 @@ class RuleBasedDetector:
                 out.append(detection)
         return out
 
+    def observe_batch(self, alerts: Iterable[Alert]) -> list[Detection]:
+        """Batch stage entry point of the :class:`repro.core.detector.Detector` protocol."""
+        return self.observe_many(alerts)
+
     def run_sequence(self, sequence, entity: Optional[str] = None) -> Optional[Detection]:
         """Offline helper mirroring :meth:`AttackTagger.run_sequence`."""
         entity = entity or (sequence[0].entity if len(sequence) else "entity:eval")

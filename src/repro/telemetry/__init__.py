@@ -16,9 +16,15 @@ from .annotator import (
     GroundTruthAnnotator,
 )
 from .auditd import AuditdMonitor, AuditRecord
-from .filtering import FilterStats, ScanFilter, filter_alerts
+from .filtering import FilterStats, ScanFilter, ScanFilterStage, filter_alerts
 from .logsource import LogSource, MonitorKind, RawLogRecord, anonymize_ip, merge_records
-from .normalizer import AlertNormalizer, KNOWN_C2_PREFIXES, NormalizationRule, ZEEK_NOTICE_MAP
+from .normalizer import (
+    AlertNormalizer,
+    KNOWN_C2_PREFIXES,
+    NormalizationRule,
+    NormalizerStage,
+    ZEEK_NOTICE_MAP,
+)
 from .osquery import OsqueryMonitor, OsqueryResult
 from .sanitizer import SanitizationReport, Sanitizer
 from .syslog import SyslogMessage, SyslogMonitor
@@ -52,12 +58,14 @@ __all__ = [
     "OsqueryResult",
     "OsqueryMonitor",
     "AlertNormalizer",
+    "NormalizerStage",
     "NormalizationRule",
     "ZEEK_NOTICE_MAP",
     "KNOWN_C2_PREFIXES",
     "Sanitizer",
     "SanitizationReport",
     "ScanFilter",
+    "ScanFilterStage",
     "FilterStats",
     "filter_alerts",
     "GroundTruthAnnotator",

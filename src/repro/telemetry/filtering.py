@@ -43,8 +43,17 @@ class FilterStats:
 
     @property
     def reduction_factor(self) -> float:
-        """Input-to-output volume ratio."""
-        return self.input_alerts / self.output_alerts if self.output_alerts else 0.0
+        """Input-to-output volume ratio.
+
+        An empty input is no reduction (1.0); a filter that drops
+        *every* alert is an infinite reduction, kept distinguishable
+        from "no reduction" by reporting ``float("inf")``.
+        """
+        if self.input_alerts == 0:
+            return 1.0
+        if self.output_alerts == 0:
+            return float("inf")
+        return self.input_alerts / self.output_alerts
 
 
 class ScanFilter:
@@ -128,6 +137,25 @@ class ScanFilter:
         return survivors
 
 
+class ScanFilterStage:
+    """Batch pipeline-stage adapter over :class:`ScanFilter`.
+
+    Implements the staged-pipeline contract
+    (:class:`repro.testbed.stages.PipelineStage`, matched structurally
+    so the telemetry layer carries no testbed import): a batch of
+    alerts in, the time-ordered survivors out.
+    """
+
+    name = "filter"
+
+    def __init__(self, scan_filter: ScanFilter) -> None:
+        self.scan_filter = scan_filter
+
+    def process(self, batch: Iterable[Alert]) -> list[Alert]:
+        """Filter one alert batch (scanner suppression + dedup)."""
+        return self.scan_filter.filter(batch)
+
+
 def filter_alerts(
     alerts: Iterable[Alert],
     vocabulary: Optional[AlertVocabulary] = None,
@@ -139,4 +167,4 @@ def filter_alerts(
     return survivors, scan_filter.stats
 
 
-__all__ = ["FilterStats", "ScanFilter", "filter_alerts"]
+__all__ = ["FilterStats", "ScanFilter", "ScanFilterStage", "filter_alerts"]

@@ -288,9 +288,29 @@ class AlertNormalizer:
         return alerts
 
 
+class NormalizerStage:
+    """Batch pipeline-stage adapter over :class:`AlertNormalizer`.
+
+    Implements the staged-pipeline contract
+    (:class:`repro.testbed.stages.PipelineStage`, matched structurally
+    so the telemetry layer carries no testbed import): a batch of
+    :class:`RawLogRecord` in, a batch of symbolic :class:`Alert` out.
+    """
+
+    name = "normalize"
+
+    def __init__(self, normalizer: AlertNormalizer) -> None:
+        self.normalizer = normalizer
+
+    def process(self, batch: Iterable[RawLogRecord]) -> list[Alert]:
+        """Normalise one raw-record batch (unmatched records are dropped)."""
+        return self.normalizer.normalize_stream(batch)
+
+
 __all__ = [
     "ZEEK_NOTICE_MAP",
     "KNOWN_C2_PREFIXES",
     "NormalizationRule",
     "AlertNormalizer",
+    "NormalizerStage",
 ]

@@ -39,6 +39,8 @@ from .responder import (
     ResponseRecord,
 )
 from .scheduler import EventHandle, Simulator
+from .sharding import BACKENDS, DetectorTemplate, ShardedDetectorPool, shard_of
+from .stages import DetectionStage, PipelineStage, ResponseStage
 from .services import (
     ELF_MAGIC_HEX,
     PostgresHoneypotService,
@@ -117,6 +119,14 @@ __all__ = [
     "BlockEntry",
     "ScanRecord",
     "generate_scan_storm",
+    # sharding / stages
+    "BACKENDS",
+    "DetectorTemplate",
+    "ShardedDetectorPool",
+    "shard_of",
+    "PipelineStage",
+    "DetectionStage",
+    "ResponseStage",
     # mirror / responder / pipeline
     "TrafficMirror",
     "MirrorStats",

@@ -66,6 +66,9 @@ class BlackHoleRouter:
         self._history: list[BlockEntry] = []
         self._scans: list[ScanRecord] = []
         self.scan_counter: Counter[str] = Counter()
+        # threshold -> sources at/above it with scans not yet drained
+        # (the incremental feed behind pipeline.block_top_scanners).
+        self._scan_watches: dict[int, set[str]] = {}
 
     # -- routing ----------------------------------------------------------
     def block(
@@ -119,7 +122,11 @@ class BlackHoleRouter:
     def record_scan(self, record: ScanRecord) -> None:
         """Record one scan packet aimed at the protected space."""
         self._scans.append(record)
-        self.scan_counter[record.source_ip] += 1
+        count = self.scan_counter[record.source_ip] + 1
+        self.scan_counter[record.source_ip] = count
+        for threshold, pending in self._scan_watches.items():
+            if count >= threshold:
+                pending.add(record.source_ip)
 
     def record_scans(self, records: Iterable[ScanRecord]) -> None:
         """Record many scan packets."""
@@ -138,6 +145,43 @@ class BlackHoleRouter:
     def top_scanners(self, count: int = 10) -> list[tuple[str, int]]:
         """The ``count`` most active scanning sources."""
         return self.scan_counter.most_common(count)
+
+    # -- incremental threshold watches ------------------------------------------
+    def watch_scan_threshold(self, min_scans: int) -> None:
+        """Start (or keep) an incremental crossing watch for a threshold.
+
+        Registration walks the existing counter once to seed the watch
+        with sources already at/above ``min_scans``; from then on
+        :meth:`record_scan` maintains it in O(1) per scan, so consumers
+        never rescan the full (potentially millions-strong) counter.
+        """
+        if min_scans not in self._scan_watches:
+            self._scan_watches[min_scans] = {
+                source
+                for source, count in self.scan_counter.items()
+                if count >= min_scans
+            }
+
+    def drain_crossed_scanners(self, min_scans: int) -> set[str]:
+        """Sources at/above ``min_scans`` with scans since the last drain.
+
+        A drained source re-enters the set on its next recorded scan
+        (its count is already over the threshold), so sources that keep
+        scanning after a block expires are re-surfaced, while sources
+        that went quiet are not rescanned.  A consumer that drains a
+        source but cannot act on it yet (e.g. it is still blocked) must
+        hand it back via :meth:`requeue_crossed_scanners` so the
+        crossing signal is not lost.
+        """
+        self.watch_scan_threshold(min_scans)
+        crossed = self._scan_watches[min_scans]
+        self._scan_watches[min_scans] = set()
+        return crossed
+
+    def requeue_crossed_scanners(self, min_scans: int, sources: Iterable[str]) -> None:
+        """Return drained-but-unhandled sources to a threshold watch."""
+        self.watch_scan_threshold(min_scans)
+        self._scan_watches[min_scans].update(sources)
 
     def scans_from(self, source_ip: str, *, limit: Optional[int] = None) -> list[ScanRecord]:
         """Scans recorded from one source (optionally the first ``limit``)."""

@@ -1,4 +1,4 @@
-"""The end-to-end testbed pipeline (Fig. 4).
+"""The end-to-end testbed pipeline (Fig. 4), as composable stages.
 
 This module wires the whole workflow together::
 
@@ -11,11 +11,21 @@ This module wires the whole workflow together::
         -> response & remediation (operator notification, BHR block,
            honeypot recycling)
 
-:class:`TestbedPipeline` is the object the examples and the Fig. 4 / Fig. 5
-benchmarks drive: raw records (or pre-normalised alerts) are ingested in
-batches, and the pipeline reports per-stage statistics so the
-25 M -> 191 K reduction and the detection/response latency can be
-measured on the same run.
+Each arrow is a :class:`repro.testbed.stages.PipelineStage` -- a
+batch-in/batch-out component with per-stage timing -- and
+:class:`TestbedPipeline` is the assembly: it owns the stage chain,
+routes ingested batches through it, and keeps the per-stage counters.
+The detection stage is a :class:`repro.testbed.sharding
+.ShardedDetectorPool` per attached detector, so alert batches can be
+partitioned by entity across independent shards (``n_shards``) and,
+with the ``process`` backend, across worker processes -- bit-identical
+to the unsharded path because detector state is strictly per-entity.
+
+The pre-stage constructor and methods are kept as a thin facade: the
+examples and the Fig. 4 / Fig. 5 benchmarks drive raw records (or
+pre-normalised alerts) in batches exactly as before, and the pipeline
+reports per-stage statistics so the 25 M -> 191 K reduction and the
+detection/response latency can be measured on the same run.
 """
 
 from __future__ import annotations
@@ -26,29 +36,45 @@ from typing import Iterable, Optional, Sequence
 
 from ..core.alerts import Alert, AlertVocabulary, DEFAULT_VOCABULARY
 from ..core.attack_tagger import AttackTagger, Detection
-from ..telemetry.filtering import ScanFilter
+from ..core.detector import Detector
+from ..telemetry.filtering import ScanFilter, ScanFilterStage
 from ..telemetry.logsource import RawLogRecord
-from ..telemetry.normalizer import AlertNormalizer
+from ..telemetry.normalizer import AlertNormalizer, NormalizerStage
 from .bhr import BHRClient, BlackHoleRouter
 from .honeypot import Honeypot
 from .mirror import TrafficMirror
 from .responder import ResponseOrchestrator, ResponsePolicy
+from .sharding import ShardedDetectorPool
+from .stages import DetectionStage, PipelineStage, ResponseStage
 
 
 @dataclasses.dataclass
 class PipelineStats:
-    """Per-stage counters for one pipeline run."""
+    """Per-stage counters and timings for one pipeline run."""
 
     raw_records: int = 0
     normalized_alerts: int = 0
     filtered_alerts: int = 0
     detections: int = 0
     responses: int = 0
+    #: Seconds spent in the detection stage only (response time is
+    #: accounted separately in :attr:`response_seconds`).
     detection_seconds: float = 0.0
+    response_seconds: float = 0.0
+    #: Cumulative wall seconds per stage name (normalize/filter/detect/respond).
+    stage_seconds: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def add_stage_seconds(self, stage_name: str, seconds: float) -> None:
+        """Accumulate one stage run's wall time."""
+        self.stage_seconds[stage_name] = self.stage_seconds.get(stage_name, 0.0) + seconds
+        if stage_name == DetectionStage.name:
+            self.detection_seconds += seconds
+        elif stage_name == ResponseStage.name:
+            self.response_seconds += seconds
 
     @property
     def detection_throughput(self) -> float:
-        """Filtered alerts consumed per second spent in the detection/response loop."""
+        """Filtered alerts consumed per second spent in the detection stage."""
         if self.detection_seconds <= 0.0:
             return 0.0
         return self.filtered_alerts / self.detection_seconds
@@ -62,14 +88,39 @@ class PipelineStats:
 
     @property
     def filter_reduction(self) -> float:
-        """Alert volume reduction achieved by the scan filter."""
+        """Alert volume reduction achieved by the scan filter.
+
+        An empty input is no reduction (1.0); a filter that drops
+        *every* alert is an infinite reduction, kept distinguishable
+        from "no reduction" by reporting ``float("inf")``.
+        """
+        if self.normalized_alerts == 0:
+            return 1.0
         if self.filtered_alerts == 0:
-            return 0.0
+            return float("inf")
         return self.normalized_alerts / self.filtered_alerts
 
 
 class TestbedPipeline:
-    """The assembled testbed: mirror -> normalise -> filter -> detect -> respond."""
+    """The assembled testbed: mirror -> normalise -> filter -> detect -> respond.
+
+    Parameters beyond the seed API:
+
+    n_shards:
+        Number of per-entity detector shards in the detection stage.
+        ``1`` (default) with the ``serial`` backend drives the attached
+        detector instances directly -- the seed behaviour.
+    shard_backend:
+        ``"serial"`` (deterministic, in-process; default) or
+        ``"process"`` (one worker process per shard).  Both produce
+        bit-identical detections; see :mod:`repro.testbed.sharding`.
+        With ``n_shards > 1`` or the process backend, each shard is an
+        independent clone of the attached (pristine) detector, and
+        ``pipeline.detectors[name]`` is the
+        :class:`~repro.testbed.sharding.ShardedDetectorPool` running
+        them.  Call :meth:`close` (or use the pipeline as a context
+        manager) to shut worker processes down.
+    """
 
     #: Not a pytest test class (the name merely starts with "Test").
     __test__ = False
@@ -77,7 +128,7 @@ class TestbedPipeline:
     def __init__(
         self,
         *,
-        detectors: Optional[dict[str, object]] = None,
+        detectors: Optional[dict[str, Detector]] = None,
         vocabulary: Optional[AlertVocabulary] = None,
         honeypot: Optional[Honeypot] = None,
         router: Optional[BlackHoleRouter] = None,
@@ -85,6 +136,8 @@ class TestbedPipeline:
         normalizer: Optional[AlertNormalizer] = None,
         response_policy: Optional[ResponsePolicy] = None,
         primary_detector: str = "factor_graph",
+        n_shards: int = 1,
+        shard_backend: str = "serial",
     ) -> None:
         self.vocabulary = vocabulary or DEFAULT_VOCABULARY
         self.honeypot = honeypot
@@ -93,19 +146,64 @@ class TestbedPipeline:
         self.mirror = TrafficMirror()
         self.normalizer = normalizer or AlertNormalizer(self.vocabulary)
         self.scan_filter = scan_filter or ScanFilter(self.vocabulary)
-        self.detectors: dict[str, object] = detectors or {
+        self.n_shards = int(n_shards)
+        self.shard_backend = shard_backend
+        templates: dict[str, Detector] = detectors or {
             "factor_graph": AttackTagger(vocabulary=self.vocabulary)
         }
-        if primary_detector not in self.detectors:
-            primary_detector = next(iter(self.detectors))
+        if primary_detector not in templates:
+            primary_detector = next(iter(templates))
         self.primary_detector = primary_detector
+        self.detector_pools: dict[str, ShardedDetectorPool] = {
+            name: self._build_pool(detector) for name, detector in templates.items()
+        }
+        #: The detection layer per attached name: with the default
+        #: single serial shard this is the very detector instance the
+        #: caller passed in (seed behaviour); otherwise the pool.
+        self.detectors: dict[str, Detector] = {
+            name: (pool.shards[0] if self._is_facade_pool(pool) else pool)
+            for name, pool in self.detector_pools.items()
+        }
         self.responder = ResponseOrchestrator(
             self.bhr_client, honeypot=self.honeypot, policy=response_policy
         )
         self.stats = PipelineStats()
         self.detections: list[tuple[str, Detection]] = []
+        # The stage chain (Fig. 4 left to right).
+        self.normalizer_stage = NormalizerStage(self.normalizer)
+        self.filter_stage = ScanFilterStage(self.scan_filter)
+        self.detection_stage = DetectionStage(
+            self.detector_pools, self.primary_detector, self.detections
+        )
+        self.response_stage = ResponseStage(self.responder)
+        self.stages: list[PipelineStage] = [
+            self.normalizer_stage,
+            self.filter_stage,
+            self.detection_stage,
+            self.response_stage,
+        ]
         self._pending_raw: list[RawLogRecord] = []
         self.mirror.subscribe_raw(self._pending_raw.append)
+
+    def _build_pool(self, detector: Detector) -> ShardedDetectorPool:
+        if self.n_shards == 1 and self.shard_backend == "serial":
+            return ShardedDetectorPool.wrap(detector)
+        return ShardedDetectorPool.from_template(
+            detector, n_shards=self.n_shards, backend=self.shard_backend
+        )
+
+    def _is_facade_pool(self, pool: ShardedDetectorPool) -> bool:
+        return pool.n_shards == 1 and pool.backend == "serial"
+
+    # ------------------------------------------------------------------
+    # Stage execution
+    # ------------------------------------------------------------------
+    def _run_stage(self, stage: PipelineStage, batch: Sequence) -> list:
+        """Run one stage over a batch, accumulating its wall time."""
+        started = time.perf_counter()
+        out = stage.process(batch)
+        self.stats.add_stage_seconds(stage.name, time.perf_counter() - started)
+        return out
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -119,7 +217,7 @@ class TestbedPipeline:
     def _drain_pending(self) -> list[Detection]:
         records, self._pending_raw[:] = list(self._pending_raw), []
         self.stats.raw_records += len(records)
-        alerts = self.normalizer.normalize_stream(records)
+        alerts = self._run_stage(self.normalizer_stage, records)
         self.stats.normalized_alerts += len(alerts)
         return self._process_alerts(alerts)
 
@@ -132,24 +230,14 @@ class TestbedPipeline:
 
     # ------------------------------------------------------------------
     def _process_alerts(self, alerts: Sequence[Alert]) -> list[Detection]:
-        filtered = self.scan_filter.filter(alerts)
+        filtered = self._run_stage(self.filter_stage, alerts)
         self.stats.filtered_alerts += len(filtered)
         for alert in filtered:
             self.mirror.publish_alert(alert)
-        new_detections: list[Detection] = []
-        started = time.perf_counter()
-        for name, detector in self.detectors.items():
-            for alert in filtered:
-                detection = detector.observe(alert)  # type: ignore[attr-defined]
-                if detection is None:
-                    continue
-                self.detections.append((name, detection))
-                if name == self.primary_detector:
-                    new_detections.append(detection)
-                    actions = self.responder.handle_detection(detection)
-                    self.stats.responses += len(actions)
-        self.stats.detection_seconds += time.perf_counter() - started
+        new_detections = self._run_stage(self.detection_stage, filtered)
         self.stats.detections += len(new_detections)
+        actions = self._run_stage(self.response_stage, new_detections)
+        self.stats.responses += len(actions)
         return new_detections
 
     # ------------------------------------------------------------------
@@ -160,12 +248,27 @@ class TestbedPipeline:
 
         Returns the number of sources blocked.  This is the BHR's
         automated mass-scanner handling; it never pages an operator.
+        The sweep is incremental: the router feeds it only sources
+        whose scan count is at/above ``min_scans`` *and* that scanned
+        since the last sweep, instead of rescanning the full counter.
+        A source that was blocked and went quiet is not revisited until
+        it scans again; one that kept scanning while blocked is
+        re-queued and re-blocked once its block expires.
         """
         blocked = 0
-        for source_ip, count in self.router.scan_counter.items():
-            if count >= min_scans and not self.router.is_blocked(source_ip, now):
-                self.responder.handle_mass_scanner(now, source_ip, count)
-                blocked += 1
+        still_blocked: list[str] = []
+        for source_ip in sorted(self.router.drain_crossed_scanners(min_scans)):
+            if self.router.is_blocked(source_ip, now):
+                # Already blocked: keep the crossing signal so the source
+                # is revisited (and re-blocked) once the block expires.
+                still_blocked.append(source_ip)
+                continue
+            self.responder.handle_mass_scanner(
+                now, source_ip, self.router.scan_counter[source_ip]
+            )
+            blocked += 1
+        if still_blocked:
+            self.router.requeue_crossed_scanners(min_scans, still_blocked)
         return blocked
 
     # ------------------------------------------------------------------
@@ -173,8 +276,12 @@ class TestbedPipeline:
         """Detections emitted by one of the attached detectors."""
         return [d for name, d in self.detections if name == detector_name]
 
-    def summary(self) -> dict[str, float]:
-        """Flat summary used by the Fig. 4 benchmark table."""
+    def summary(self) -> dict[str, object]:
+        """Flat summary used by the Fig. 4 benchmark table.
+
+        All values are floats except ``stage_seconds``, the per-stage
+        timing dict (stage name -> cumulative wall seconds).
+        """
         return {
             "raw_records": float(self.stats.raw_records),
             "normalized_alerts": float(self.stats.normalized_alerts),
@@ -186,7 +293,24 @@ class TestbedPipeline:
             "normalization_drop_rate": self.stats.normalization_drop_rate,
             "filter_reduction": self.stats.filter_reduction,
             "detection_throughput": self.stats.detection_throughput,
+            "detection_seconds": self.stats.detection_seconds,
+            "response_seconds": self.stats.response_seconds,
+            "stage_seconds": dict(self.stats.stage_seconds),
         }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down detector pools (worker processes, if any)."""
+        for pool in self.detector_pools.values():
+            pool.close()
+
+    def __enter__(self) -> "TestbedPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 __all__ = ["PipelineStats", "TestbedPipeline"]

@@ -1,0 +1,368 @@
+"""Per-entity sharded detection: the pipeline's parallel detection layer.
+
+All detector state is per-entity (PR 1 moved every piece of mutable
+inference state into per-entity :class:`repro.core.streaming
+.StreamingDecoder` instances), so the alert stream can be partitioned
+by entity across independent detector replicas without changing a
+single decode: entities never share state, therefore a detector that
+only ever sees the sub-stream of "its" entities produces bit-identical
+detections for them.
+
+**Shard routing invariant.**  An alert for entity ``e`` is always
+routed to shard ``crc32(e) % n_shards``.  The hash is ``zlib.crc32``
+(not Python's salted ``hash``) so the assignment is stable across
+processes and runs -- a requirement both for the process backend
+(parent and workers must agree without coordination) and for
+reproducible benchmarks.  Because routing is a pure function of the
+entity, every alert of an entity lands on the same shard in stream
+order, which is all the exactness argument needs.
+
+Two execution backends share the same routing and merge logic:
+
+* ``serial`` (default) -- ``n_shards`` detector replicas in the calling
+  process, processed shard-by-shard.  Deterministic, dependency-free,
+  and the reference the process backend is tested against.
+* ``process`` -- one persistent worker process per shard, fed alert
+  sub-batches over pipes.  Workers hold their detector replica for the
+  lifetime of the pool (detector state must persist across batches), so
+  the per-batch cost is pickling the sub-batches, not detector state.
+
+Detections from all shards are merged back into the position order of
+the input stream (equal to timestamp order for the time-sorted batches
+the scan filter emits), making both backends' output bit-identical to
+an unsharded detector consuming the same batch.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import multiprocessing
+import time
+import zlib
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.alerts import Alert
+from ..core.attack_tagger import Detection
+from ..core.detector import Detector
+
+#: Supported execution backends.
+BACKENDS = ("serial", "process")
+
+
+def shard_of(entity: str, n_shards: int) -> int:
+    """The shard an entity's alerts are routed to (stable across processes)."""
+    if n_shards <= 1:
+        return 0
+    return zlib.crc32(entity.encode("utf-8")) % n_shards
+
+
+@dataclasses.dataclass(frozen=True)
+class _IdentityFactory:
+    """``wrap()``'s factory: hands out the wrapped instance itself.
+
+    Only valid for a single serial shard -- every call returns the
+    *same* object, which is exactly what the facade path wants (the
+    caller's detector instance keeps doing the work) and wrong for any
+    real fan-out.
+    """
+
+    detector: Detector
+
+    def __call__(self) -> Detector:
+        return self.detector
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectorTemplate:
+    """Picklable detector factory: deep-copies a pristine template.
+
+    ``AttackTagger.clone()`` is used when available (it shares the
+    read-only parameter tables instead of copying them); other
+    detectors fall back to :func:`copy.deepcopy`.  Being a plain frozen
+    dataclass, the factory pickles cleanly into worker processes.
+    """
+
+    template: Detector
+
+    def __call__(self) -> Detector:
+        clone = getattr(self.template, "clone", None)
+        if callable(clone):
+            return clone()
+        return copy.deepcopy(self.template)
+
+
+def _shard_worker_main(factory, connection) -> None:
+    """Worker loop of one process shard: owns a detector replica.
+
+    Commands arrive as ``(verb, payload)`` tuples; every command is
+    answered with exactly one reply so the parent can run a simple
+    send-all / receive-all round per batch.  ``observe`` replies with
+    ``(hits, busy_seconds)`` where ``hits`` are ``(position, detection)``
+    pairs indexed into the received sub-batch and ``busy_seconds`` is
+    the CPU time the observe loop consumed (used by the sharding
+    benchmark's critical-path metric).
+    """
+    detector = factory()
+    try:
+        while True:
+            command, payload = connection.recv()
+            if command == "observe":
+                started = time.process_time()
+                hits: List[Tuple[int, Detection]] = []
+                for position, alert in enumerate(payload):
+                    detection = detector.observe(alert)
+                    if detection is not None:
+                        hits.append((position, detection))
+                connection.send((hits, time.process_time() - started))
+            elif command == "reset_entity":
+                detector.reset_entity(payload)
+                connection.send(None)
+            elif command == "reset":
+                detector.reset()
+                connection.send(None)
+            elif command == "close":
+                connection.send(None)
+                return
+            else:  # defensive: unknown verbs must not wedge the parent
+                connection.send(None)
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        pass
+
+
+class _ProcessShard:
+    """Parent-side handle of one worker process."""
+
+    def __init__(self, factory: DetectorTemplate) -> None:
+        context = multiprocessing.get_context()
+        self.connection, child_connection = context.Pipe()
+        self.process = context.Process(
+            target=_shard_worker_main,
+            args=(factory, child_connection),
+            daemon=True,
+        )
+        self.process.start()
+        child_connection.close()
+
+    def send(self, command: str, payload=None) -> None:
+        self.connection.send((command, payload))
+
+    def receive(self):
+        return self.connection.recv()
+
+    def close(self) -> None:
+        try:
+            if self.process.is_alive():
+                self.send("close")
+                self.receive()
+            self.process.join(timeout=5.0)
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        finally:
+            self.connection.close()
+            if self.process.is_alive():  # pragma: no cover - defensive
+                self.process.terminate()
+
+
+class ShardedDetectorPool:
+    """Entity-sharded detection layer satisfying the ``Detector`` protocol.
+
+    Parameters
+    ----------
+    detector_factory:
+        Zero-argument callable producing one pristine detector replica
+        per shard.  Must be picklable for the process backend
+        (:class:`DetectorTemplate` wraps an existing instance).
+    n_shards:
+        Number of independent shards (>= 1).
+    backend:
+        ``"serial"`` or ``"process"`` (see module docstring).
+
+    The pool accumulates the merged detection stream itself, so
+    ``pool.detections`` is equivalent to the unsharded detector's
+    ``detections`` regardless of backend.
+    """
+
+    def __init__(
+        self,
+        detector_factory,
+        *,
+        n_shards: int = 1,
+        backend: str = "serial",
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
+        self.n_shards = int(n_shards)
+        self.backend = backend
+        self.detector_factory = detector_factory
+        self._detections: List[Detection] = []
+        #: Alerts routed to each shard (routing balance introspection).
+        self.alerts_routed: List[int] = [0] * self.n_shards
+        #: Cumulative seconds each shard spent observing (serial: wall
+        #: time in the caller; process: worker CPU time).
+        self.busy_seconds: List[float] = [0.0] * self.n_shards
+        self.shards: List[Detector] = []
+        self._workers: List[_ProcessShard] = []
+        self._closed = False
+        if backend == "serial":
+            self.shards = [detector_factory() for _ in range(self.n_shards)]
+        else:
+            self._workers = [
+                _ProcessShard(detector_factory) for _ in range(self.n_shards)
+            ]
+
+    @classmethod
+    def wrap(cls, detector: Detector) -> "ShardedDetectorPool":
+        """Single serial shard around an *existing* detector instance.
+
+        This is the facade path: the pipeline's default configuration
+        (``n_shards=1``) keeps driving the very detector object the
+        caller constructed (no clone, no copy), so external references
+        observe its state.
+        """
+        return cls(_IdentityFactory(detector), n_shards=1, backend="serial")
+
+    @classmethod
+    def from_template(
+        cls,
+        detector: Detector,
+        *,
+        n_shards: int = 1,
+        backend: str = "serial",
+    ) -> "ShardedDetectorPool":
+        """Pool whose shards are clones of a pristine template detector."""
+        return cls(DetectorTemplate(detector), n_shards=n_shards, backend=backend)
+
+    # -- routing -----------------------------------------------------------
+    def shard_of(self, entity: str) -> int:
+        """The shard the entity's alerts are routed to."""
+        return shard_of(entity, self.n_shards)
+
+    def _partition(
+        self, alerts: Sequence[Alert]
+    ) -> Tuple[List[List[Alert]], List[List[int]]]:
+        """Split one batch into per-shard sub-batches, remembering positions."""
+        sub_batches: List[List[Alert]] = [[] for _ in range(self.n_shards)]
+        positions: List[List[int]] = [[] for _ in range(self.n_shards)]
+        for position, alert in enumerate(alerts):
+            shard = shard_of(alert.entity, self.n_shards)
+            sub_batches[shard].append(alert)
+            positions[shard].append(position)
+        return sub_batches, positions
+
+    # -- Detector protocol -------------------------------------------------
+    @property
+    def detections(self) -> list[Detection]:
+        """All detections emitted so far, merged into stream order."""
+        return list(self._detections)
+
+    def observe(self, alert: Alert) -> Optional[Detection]:
+        """Route one alert to its shard; return a detection if one fires."""
+        found = self.observe_batch([alert])
+        return found[0] if found else None
+
+    def observe_batch(self, alerts: Iterable[Alert]) -> list[Detection]:
+        """Fan one batch out across the shards and merge the detections.
+
+        Detections come back tagged with their triggering alert's
+        position in the batch and are merged in that order -- exactly
+        the emission order of an unsharded detector scanning the batch
+        front to back (and timestamp order for time-sorted batches).
+        """
+        batch = list(alerts)
+        if not batch:
+            return []
+        if self._closed:
+            raise RuntimeError("ShardedDetectorPool is closed")
+        sub_batches, positions = self._partition(batch)
+        for shard, sub_batch in enumerate(sub_batches):
+            self.alerts_routed[shard] += len(sub_batch)
+        hits: List[Tuple[int, Detection]] = []
+        if self.backend == "serial":
+            for shard, sub_batch in enumerate(sub_batches):
+                if not sub_batch:
+                    continue
+                started = time.perf_counter()
+                detector = self.shards[shard]
+                for local, alert in enumerate(sub_batch):
+                    detection = detector.observe(alert)
+                    if detection is not None:
+                        hits.append((positions[shard][local], detection))
+                self.busy_seconds[shard] += time.perf_counter() - started
+        else:
+            active = [
+                shard for shard, sub_batch in enumerate(sub_batches) if sub_batch
+            ]
+            # Send everything first so all workers compute concurrently.
+            for shard in active:
+                self._workers[shard].send("observe", sub_batches[shard])
+            for shard in active:
+                shard_hits, busy = self._workers[shard].receive()
+                self.busy_seconds[shard] += busy
+                hits.extend(
+                    (positions[shard][local], detection)
+                    for local, detection in shard_hits
+                )
+        hits.sort(key=lambda item: item[0])
+        merged = [detection for _, detection in hits]
+        self._detections.extend(merged)
+        return merged
+
+    def reset(self) -> None:
+        """Forget all shard state and past detections."""
+        self._detections.clear()
+        self.alerts_routed = [0] * self.n_shards
+        self.busy_seconds = [0.0] * self.n_shards
+        if self.backend == "serial":
+            for detector in self.shards:
+                detector.reset()
+        else:
+            for worker in self._workers:
+                worker.send("reset")
+            for worker in self._workers:
+                worker.receive()
+
+    def reset_entity(self, entity: str) -> None:
+        """Forget one entity on the shard that owns it."""
+        shard = self.shard_of(entity)
+        if self.backend == "serial":
+            self.shards[shard].reset_entity(entity)
+        else:
+            self._workers[shard].send("reset_entity", entity)
+            self._workers[shard].receive()
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Shut down worker processes (idempotent).
+
+        Serial pools are a true no-op: they have no workers and remain
+        usable.  A closed *process* pool rejects further batches.
+        """
+        if self.backend != "process" or self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.close()
+        self._workers = []
+
+    def __enter__(self) -> "ShardedDetectorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+__all__ = [
+    "BACKENDS",
+    "DetectorTemplate",
+    "ShardedDetectorPool",
+    "shard_of",
+]

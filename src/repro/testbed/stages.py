@@ -1,0 +1,103 @@
+"""The staged pipeline architecture: batch-in/batch-out stages.
+
+Fig. 4's workflow is a chain of transformations over batches::
+
+    raw records --normalize--> alerts --filter--> survivors
+                 --detect--> detections --respond--> actions
+
+:class:`PipelineStage` states that contract once: a stage has a
+``name`` (the key its cumulative runtime is recorded under in
+``PipelineStats.stage_seconds``) and a ``process`` method taking one
+batch and returning the next stage's batch.  The protocol is
+structural, so the telemetry adapters
+(:class:`repro.telemetry.normalizer.NormalizerStage`,
+:class:`repro.telemetry.filtering.ScanFilterStage`) satisfy it without
+importing the testbed package.
+
+This module adds the two testbed-owned stages:
+
+* :class:`DetectionStage` -- drives every attached detector pool
+  (:class:`repro.testbed.sharding.ShardedDetectorPool`) over the
+  filtered batch and returns the primary detector's new detections.
+* :class:`ResponseStage` -- feeds detections to the
+  :class:`repro.testbed.responder.ResponseOrchestrator` and returns the
+  actions taken.
+
+:class:`~repro.testbed.pipeline.TestbedPipeline` assembles the four
+stages and times each one; its pre-stage constructor/API is kept as a
+thin facade on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Sequence, Tuple, runtime_checkable
+
+from ..core.alerts import Alert
+from ..core.attack_tagger import Detection
+from .responder import ResponseOrchestrator, ResponseRecord
+from .sharding import ShardedDetectorPool
+
+
+@runtime_checkable
+class PipelineStage(Protocol):
+    """One batch-in/batch-out stage of the testbed pipeline."""
+
+    name: str
+
+    def process(self, batch: Sequence) -> list:
+        """Transform one batch into the next stage's batch."""
+        ...
+
+
+class DetectionStage:
+    """Detection layer: every detector pool scans the filtered batch.
+
+    Detections from *all* pools are recorded (tagged with the pool's
+    name) into ``sink`` -- the pipeline's cross-detector detection log
+    -- while only the primary pool's detections flow on to the response
+    stage, mirroring the paper's deployment where comparison models run
+    side by side but only the deployed model pages operators.
+    """
+
+    name = "detect"
+
+    def __init__(
+        self,
+        pools: Dict[str, ShardedDetectorPool],
+        primary: str,
+        sink: List[Tuple[str, Detection]],
+    ) -> None:
+        if primary not in pools:
+            raise ValueError(f"primary detector {primary!r} not among {list(pools)}")
+        self.pools = pools
+        self.primary = primary
+        self.sink = sink
+
+    def process(self, batch: Sequence[Alert]) -> list[Detection]:
+        """Scan one filtered batch; return the primary pool's detections."""
+        primary_detections: list[Detection] = []
+        for name, pool in self.pools.items():
+            found = pool.observe_batch(batch)
+            self.sink.extend((name, detection) for detection in found)
+            if name == self.primary:
+                primary_detections = found
+        return primary_detections
+
+
+class ResponseStage:
+    """Response layer: notifications, BHR blocks, quarantine, recycling."""
+
+    name = "respond"
+
+    def __init__(self, responder: ResponseOrchestrator) -> None:
+        self.responder = responder
+
+    def process(self, batch: Sequence[Detection]) -> list[ResponseRecord]:
+        """Respond to one detection batch; return every action taken."""
+        actions: list[ResponseRecord] = []
+        for detection in batch:
+            actions.extend(self.responder.handle_detection(detection))
+        return actions
+
+
+__all__ = ["PipelineStage", "DetectionStage", "ResponseStage"]

@@ -1,0 +1,291 @@
+"""Shard equivalence suite: sharded detection must be bit-identical.
+
+The staged pipeline's detection layer partitions alerts by entity
+across independent detector shards (serial or process backends).  All
+detector state is per-entity, so the sharded runs must reproduce the
+unsharded pipeline exactly -- same detections (every field, including
+floating-point confidences and state trajectories), same counters.
+This suite asserts that on a randomized mixed attack/benign stream,
+for both backends and several shard counts (plus the count injected by
+the ``REPRO_SHARDS`` CI matrix variable).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AttackTagger,
+    CriticalAlertDetector,
+    Detector,
+    NaiveBayesDetector,
+    RuleBasedDetector,
+)
+from repro.core.alerts import Alert, DEFAULT_VOCABULARY
+from repro.core.states import AttackStage
+from repro.incidents import DEFAULT_CATALOGUE
+from repro.testbed import ShardedDetectorPool, TestbedPipeline, shard_of
+
+#: Extra shard count injected by the CI matrix (REPRO_SHARDS={1,4}).
+EXTRA_SHARDS = int(os.environ.get("REPRO_SHARDS", "1"))
+SHARD_COUNTS = sorted({1, 2, 8, EXTRA_SHARDS})
+
+#: Benign-ish alert names that keep an entity undetected.
+BENIGN_NAMES = [
+    spec.name
+    for spec in DEFAULT_VOCABULARY
+    if spec.stage in (AttackStage.BACKGROUND, AttackStage.RECONNAISSANCE)
+]
+
+#: Timing-free keys of ``TestbedPipeline.summary()`` (wall-clock keys
+#: legitimately differ between runs).
+COUNTER_KEYS = (
+    "raw_records",
+    "normalized_alerts",
+    "filtered_alerts",
+    "detections",
+    "responses",
+    "notifications",
+    "blocked_sources",
+    "normalization_drop_rate",
+    "filter_reduction",
+)
+
+
+def build_mixed_stream(
+    *, seed: int, n_entities: int, length: int
+) -> list[Alert]:
+    """Randomized multi-entity mix of benign noise and attack chains.
+
+    Every fourth entity is fed one catalogue attack pattern's alert
+    sequence, interleaved with benign noise; the rest see noise only.
+    Entity order is shuffled per step so shards receive interleaved
+    sub-streams, and timestamps strictly increase so batches stay
+    time-sorted.
+    """
+    rng = np.random.default_rng(seed)
+    patterns = list(DEFAULT_CATALOGUE)
+    pending: dict[str, list[str]] = {}
+    for index in range(0, n_entities, 4):
+        pattern = patterns[int(rng.integers(0, len(patterns)))]
+        pending[f"user:u{index:03d}"] = list(pattern.names)
+    entities = [f"user:u{index:03d}" for index in range(n_entities)]
+    alerts: list[Alert] = []
+    step = 0
+    while len(alerts) < length:
+        entity = entities[int(rng.integers(0, n_entities))]
+        chain = pending.get(entity)
+        if chain and rng.random() < 0.5:
+            name = chain.pop(0)
+            if not chain:
+                del pending[entity]
+        else:
+            name = BENIGN_NAMES[int(rng.integers(0, len(BENIGN_NAMES)))]
+        host = f"node{int(entity[6:]) % 16:02d}"
+        alerts.append(
+            Alert(
+                timestamp=float(step) * 431.0,
+                name=name,
+                entity=entity,
+                source_ip=f"198.51.{int(entity[6:]) % 200}.7",
+                host=host,
+            )
+        )
+        step += 1
+    return alerts
+
+
+def run_pipeline(
+    stream: list[Alert], *, n_shards: int, backend: str, batches: int = 4
+) -> tuple[list, dict, "TestbedPipeline"]:
+    """Run the stream through a fresh pipeline in several batches."""
+    pipeline = TestbedPipeline(
+        detectors={
+            "factor_graph": AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+        },
+        n_shards=n_shards,
+        shard_backend=backend,
+    )
+    detections = []
+    bounds = np.linspace(0, len(stream), batches + 1).astype(int)
+    with pipeline:
+        for start, stop in zip(bounds[:-1], bounds[1:]):
+            detections.extend(pipeline.ingest_alerts(stream[start:stop]))
+        summary = pipeline.summary()
+        log = list(pipeline.detections)
+    return detections, summary, log
+
+
+@pytest.fixture(scope="module")
+def mixed_stream():
+    """The randomized 10k-alert mixed attack/benign stream.
+
+    200 entities keep every per-entity history inside the default
+    ``max_window`` so the parametrized equivalence grid stays fast; the
+    window-eviction decode path gets its own dedicated test below.
+    """
+    return build_mixed_stream(seed=23, n_entities=200, length=10_000)
+
+
+@pytest.fixture(scope="module")
+def baseline(mixed_stream):
+    """Unsharded reference run (single serial shard = seed behaviour)."""
+    return run_pipeline(mixed_stream, n_shards=1, backend="serial")
+
+
+class TestShardRouting:
+    def test_routing_is_stable_and_in_range(self):
+        for n_shards in (1, 2, 8, 13):
+            for entity in ("user:alice", "host:node01", "user:u042"):
+                shard = shard_of(entity, n_shards)
+                assert 0 <= shard < n_shards
+                assert shard == shard_of(entity, n_shards)
+
+    def test_routing_spreads_entities(self):
+        shards = {shard_of(f"user:u{index:03d}", 8) for index in range(96)}
+        assert len(shards) > 4, "96 entities should spread over >4 of 8 shards"
+
+    def test_pool_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            ShardedDetectorPool.from_template(AttackTagger(), n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedDetectorPool.from_template(AttackTagger(), backend="threads")
+
+
+class TestShardEquivalence:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_sharded_run_is_bit_identical(self, mixed_stream, baseline, n_shards, backend):
+        base_detections, base_summary, base_log = baseline
+        detections, summary, log = run_pipeline(
+            mixed_stream, n_shards=n_shards, backend=backend
+        )
+        assert detections, "the mixed stream must produce detections"
+        # Full dataclass equality: entities, timestamps, confidences,
+        # matched patterns, state trajectories -- all bit-identical.
+        assert detections == base_detections
+        assert log == base_log
+        for key in COUNTER_KEYS:
+            assert summary[key] == base_summary[key], key
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_equivalence_survives_window_eviction(self, backend):
+        """Long per-entity histories (window slides + rebuilds) stay exact."""
+        stream = build_mixed_stream(seed=5, n_entities=8, length=900)
+        base_detections, base_summary, base_log = run_pipeline(
+            stream, n_shards=1, backend="serial"
+        )
+        detections, summary, log = run_pipeline(stream, n_shards=3, backend=backend)
+        assert detections == base_detections
+        assert log == base_log
+        for key in COUNTER_KEYS:
+            assert summary[key] == base_summary[key], key
+
+    def test_alerts_actually_route_to_every_shard(self, mixed_stream):
+        pool = ShardedDetectorPool.from_template(
+            AttackTagger(patterns=list(DEFAULT_CATALOGUE)), n_shards=8
+        )
+        pool.observe_batch(mixed_stream[:2_000])
+        assert sum(1 for routed in pool.alerts_routed if routed) > 4
+
+
+class TestShardedDetectorPool:
+    def _chain_alerts(self, entity="user:eve"):
+        names = [
+            "alert_db_default_password_login",
+            "alert_service_version_probe",
+            "alert_db_largeobject_payload",
+            "alert_tmp_executable_created",
+            "alert_outbound_c2",
+        ]
+        return [
+            Alert(float(i) * 300.0, name, entity, source_ip="203.0.113.9")
+            for i, name in enumerate(names)
+        ]
+
+    def test_wrap_drives_the_given_instance(self):
+        detector = AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+        pool = ShardedDetectorPool.wrap(detector)
+        fired = pool.observe_batch(self._chain_alerts())
+        assert fired and fired == detector.detections
+        assert pool.detections == detector.detections
+
+    def test_single_observe_routes_and_fires(self):
+        pool = ShardedDetectorPool.from_template(
+            AttackTagger(patterns=list(DEFAULT_CATALOGUE)), n_shards=4
+        )
+        results = [pool.observe(alert) for alert in self._chain_alerts()]
+        fired = [r for r in results if r is not None]
+        assert len(fired) == 1 and fired == pool.detections
+
+    def test_reset_entity_forgets_only_that_entity(self):
+        pool = ShardedDetectorPool.from_template(
+            AttackTagger(patterns=list(DEFAULT_CATALOGUE)), n_shards=4
+        )
+        pool.observe_batch(self._chain_alerts("user:eve"))
+        pool.observe_batch(self._chain_alerts("user:mallory"))
+        assert len(pool.detections) == 2
+        pool.reset_entity("user:eve")
+        # Eve detects again after the reset; Mallory stays detected
+        # (her shard still remembers her).
+        assert len(pool.observe_batch(self._chain_alerts("user:eve"))) == 1
+        assert len(pool.observe_batch(self._chain_alerts("user:mallory"))) == 0
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_pool_reset_clears_all_shards(self, backend):
+        with ShardedDetectorPool.from_template(
+            AttackTagger(patterns=list(DEFAULT_CATALOGUE)),
+            n_shards=2,
+            backend=backend,
+        ) as pool:
+            assert len(pool.observe_batch(self._chain_alerts())) == 1
+            pool.reset()
+            assert pool.detections == []
+            assert len(pool.observe_batch(self._chain_alerts())) == 1
+
+    def test_closed_process_pool_rejects_batches(self):
+        pool = ShardedDetectorPool.from_template(
+            AttackTagger(), n_shards=2, backend="process"
+        )
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            pool.observe_batch(self._chain_alerts())
+
+    def test_serial_pool_survives_close(self):
+        # close() is a true no-op without worker processes: the default
+        # (facade) pipeline stays usable after a `with` block.
+        pool = ShardedDetectorPool.wrap(AttackTagger(patterns=list(DEFAULT_CATALOGUE)))
+        pool.close()
+        assert len(pool.observe_batch(self._chain_alerts())) == 1
+
+
+class TestDetectorProtocol:
+    def test_all_detectors_satisfy_the_protocol(self):
+        detectors = [
+            AttackTagger(),
+            RuleBasedDetector(),
+            CriticalAlertDetector(),
+            NaiveBayesDetector(),
+            ShardedDetectorPool.from_template(AttackTagger(), n_shards=2),
+        ]
+        for detector in detectors:
+            assert isinstance(detector, Detector), type(detector).__name__
+
+
+class TestPickleSafeShardState:
+    def test_mid_stream_tagger_pickles_and_continues_identically(self, mixed_stream):
+        original = AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+        stream = [a for a in mixed_stream[:400]]
+        for alert in stream[:200]:
+            original.observe(alert)
+        migrated = pickle.loads(pickle.dumps(original))
+        for alert in stream[200:]:
+            assert original.observe(alert) == migrated.observe(alert)
+        assert original.detections == migrated.detections
+        for entity in original.entities():
+            assert original.posterior(entity) == migrated.posterior(entity)

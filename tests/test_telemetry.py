@@ -247,6 +247,25 @@ class TestScanFilter:
                                          [Alert(1.0, "alert_outbound_c2", "user:x", source_ip="5.5.5.5")])
         assert stats.reduction_factor > 100
 
+    def test_reduction_factor_distinguishes_total_drop(self):
+        # Dropping every alert is an infinite reduction, not 0.
+        _, stats = filter_alerts(self._scan_alerts(300))
+        assert stats.output_alerts == 0
+        assert stats.reduction_factor == float("inf")
+        # No input at all is vacuously no reduction.
+        _, empty_stats = filter_alerts([])
+        assert empty_stats.reduction_factor == 1.0
+
+    def test_scan_filter_stage_adapter(self):
+        from repro.telemetry import ScanFilterStage
+
+        scan_filter = ScanFilter()
+        stage = ScanFilterStage(scan_filter)
+        assert stage.name == "filter"
+        survivors = stage.process(self._scan_alerts(50))
+        assert survivors == []
+        assert scan_filter.stats.input_alerts == 50
+
 
 class TestAnnotator:
     def _alerts(self):

@@ -374,3 +374,96 @@ class TestResponderAndPipeline:
         pipeline = TestbedPipeline()
         pipeline.ingest_raw(syslog.records)
         assert pipeline.stats.normalized_alerts == 1
+        assert "normalize" in pipeline.stats.stage_seconds
+
+    def test_per_stage_timing_split(self, honeypot):
+        pipeline = TestbedPipeline(
+            detectors={"factor_graph": AttackTagger(patterns=list(DEFAULT_CATALOGUE))},
+            honeypot=honeypot,
+        )
+        attack_names = [
+            "alert_db_default_password_login", "alert_service_version_probe",
+            "alert_db_largeobject_payload", "alert_tmp_executable_created", "alert_outbound_c2",
+        ]
+        alerts = [
+            Alert(float(i * 300), name, "host:container-entry00", source_ip="111.200.45.67",
+                  host="container-entry00")
+            for i, name in enumerate(attack_names)
+        ]
+        pipeline.ingest_alerts(alerts)
+        stats = pipeline.stats
+        # Responder time no longer inflates the detection timing.
+        assert set(stats.stage_seconds) >= {"filter", "detect", "respond"}
+        assert stats.detection_seconds == stats.stage_seconds["detect"]
+        assert stats.response_seconds == stats.stage_seconds["respond"]
+        assert stats.response_seconds > 0.0
+        summary = pipeline.summary()
+        assert summary["stage_seconds"] == stats.stage_seconds
+        assert summary["response_seconds"] == stats.response_seconds
+
+    def test_filter_reduction_distinguishes_total_drop(self):
+        from repro.testbed.pipeline import PipelineStats
+
+        # No alerts at all: vacuously no reduction.
+        assert PipelineStats().filter_reduction == 1.0
+        # Normal ratio.
+        assert PipelineStats(normalized_alerts=100, filtered_alerts=20).filter_reduction == 5.0
+        # The filter dropped *everything*: an infinite reduction, not 0.
+        assert PipelineStats(normalized_alerts=100, filtered_alerts=0).filter_reduction == float("inf")
+
+    def test_filter_reduction_inf_through_the_pipeline(self):
+        pipeline = TestbedPipeline()
+        # One mass scanner sweeping 30 hosts: every alert is suppressed.
+        scans = [
+            Alert(float(i * 4000), "alert_port_scan", f"host:h{i}", source_ip="9.9.9.9",
+                  host=f"h{i}")
+            for i in range(30)
+        ]
+        pipeline.ingest_alerts(scans)
+        assert pipeline.stats.filtered_alerts == 0
+        assert pipeline.summary()["filter_reduction"] == float("inf")
+
+    def test_block_top_scanners_is_incremental(self):
+        router = BlackHoleRouter()
+        generate_scan_storm(router, total_scans=3000, dominant_scanner="103.102.1.1", seed=2)
+        pipeline = TestbedPipeline(router=router)
+        assert pipeline.block_top_scanners(now=3600.0, min_scans=1000) == 1
+        # No new scans: nothing to revisit (the crossed set drained).
+        assert pipeline.block_top_scanners(now=3600.0, min_scans=1000) == 0
+        # The scanner keeps scanning after its 24h block expires: its new
+        # scans re-surface it and it is re-blocked.
+        two_days = 2 * 86_400.0
+        assert not router.is_blocked("103.102.1.1", now=two_days)
+        router.record_scan(ScanRecord(two_days, "103.102.1.1", "141.142.1.1", 22))
+        assert pipeline.block_top_scanners(now=two_days, min_scans=1000) == 1
+        assert router.is_blocked("103.102.1.1", now=two_days + 10.0)
+
+    def test_block_top_scanners_requeues_still_blocked_sources(self):
+        router = BlackHoleRouter()
+        generate_scan_storm(router, total_scans=3000, dominant_scanner="103.102.1.1", seed=2)
+        pipeline = TestbedPipeline(router=router)
+        assert pipeline.block_top_scanners(now=3600.0, min_scans=1000) == 1
+        # The scanner keeps scanning *while blocked*, then goes quiet.
+        router.record_scan(ScanRecord(4000.0, "103.102.1.1", "141.142.1.1", 22))
+        assert pipeline.block_top_scanners(now=4100.0, min_scans=1000) == 0
+        # The crossing signal survives the skipped sweep: once the 24h
+        # block expires, the next sweep re-blocks without new scans.
+        two_days = 2 * 86_400.0
+        assert not router.is_blocked("103.102.1.1", now=two_days)
+        assert pipeline.block_top_scanners(now=two_days, min_scans=1000) == 1
+        assert router.is_blocked("103.102.1.1", now=two_days + 10.0)
+
+    def test_block_top_scanners_with_lower_threshold_registers_new_watch(self):
+        router = BlackHoleRouter()
+        generate_scan_storm(router, total_scans=3000, dominant_scanner="103.102.1.1",
+                            dominant_fraction=0.5, other_scanners=3, seed=3)
+        pipeline = TestbedPipeline(router=router)
+        assert pipeline.block_top_scanners(now=3600.0, min_scans=1400) == 1
+        # A lower threshold walks the counter once and catches the tail.
+        assert pipeline.block_top_scanners(now=3600.0, min_scans=100) >= 3
+
+    def test_sharded_pipeline_facade_keeps_detector_instances(self):
+        detector = AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+        pipeline = TestbedPipeline(detectors={"factor_graph": detector})
+        # Default configuration drives the caller's instance directly.
+        assert pipeline.detectors["factor_graph"] is detector
