@@ -38,8 +38,14 @@ from .factor_graph import (
     chain_map_decode_batch,
     chain_marginals,
     chain_marginals_batch,
+    chain_step_matrix,
     chain_stream_trace_batch,
+    logsumexp_matmul,
+    logsumexp_vecmat,
+    maxplus_matmul,
+    maxplus_vecmat,
 )
+from .sliding_window import SlidingProductWindow
 from .factors import FactorParameters, default_parameters
 from .preemption import (
     DamageBoundary,
@@ -109,6 +115,12 @@ __all__ = [
     "chain_map_decode_batch",
     "chain_marginals_batch",
     "chain_stream_trace_batch",
+    "chain_step_matrix",
+    "maxplus_matmul",
+    "maxplus_vecmat",
+    "logsumexp_matmul",
+    "logsumexp_vecmat",
+    "SlidingProductWindow",
     "FactorParameters",
     "default_parameters",
     # training

@@ -21,7 +21,8 @@ attack was *preempted* (see :mod:`repro.core.preemption`).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, MutableSequence, Optional, Sequence
 
 import numpy as np
 
@@ -103,10 +104,17 @@ class DetectionTrace:
 
 @dataclasses.dataclass
 class EntityTrack:
-    """Per-entity detector state: the observed alerts and cached decode."""
+    """Per-entity detector state: the observed alerts and cached decode.
+
+    ``alerts`` holds the window-bounded alert history.  The tagger
+    creates it as a ``collections.deque(maxlen=max_window)`` so the
+    window trim is O(1) per alert (appending to a full deque drops the
+    oldest element) instead of an O(W) list shift -- the same sequence
+    API (append/iterate/len) is preserved.
+    """
 
     entity: str
-    alerts: List[Alert] = dataclasses.field(default_factory=list)
+    alerts: MutableSequence[Alert] = dataclasses.field(default_factory=list)
     detected: Optional[Detection] = None
     decoder: Optional[StreamingDecoder] = None
 
@@ -142,13 +150,19 @@ class AttackTagger:
     engine:
         ``"streaming"`` (default) maintains incremental per-entity
         decoder state (:class:`repro.core.streaming.StreamingDecoder`)
-        so one alert costs O(K^2 + pattern advances); ``"naive"`` keeps
-        the seed behaviour of re-decoding the whole chain per alert
-        (kept for regression tests and benchmarking).  Both engines
-        produce identical detections; pattern weights are resolved when
-        an entity's decoder is created, so mutate
+        so one alert costs O(K^2 + pattern advances) while the window
+        fills and O(K^3) amortised once it saturates (the two-stack
+        sliding aggregation of :mod:`repro.core.sliding_window` makes
+        the ``max_window`` slide an eviction instead of a rebuild).
+        ``"rebuild"`` keeps the previous slide behaviour -- incremental
+        appends, but a full O(W * K^2) decoder rebuild on every window
+        slide -- as the regression/benchmark reference for the
+        amortised path.  ``"naive"`` keeps the seed behaviour of
+        re-decoding the whole chain per alert.  All engines produce
+        bit-identical detections; pattern weights are resolved when an
+        entity's decoder is created, so mutate
         ``parameters.pattern_weights`` only between ``run_sequence``
-        calls (which reset the entity) when using the streaming engine.
+        calls (which reset the entity) when using a decoder engine.
     """
 
     def __init__(
@@ -171,8 +185,8 @@ class AttackTagger:
             raise ValueError("detection_threshold must be in (0, 1)")
         if max_window < 2:
             raise ValueError("max_window must be at least 2")
-        if engine not in ("streaming", "naive"):
-            raise ValueError("engine must be 'streaming' or 'naive'")
+        if engine not in ("streaming", "rebuild", "naive"):
+            raise ValueError("engine must be 'streaming', 'rebuild', or 'naive'")
         self.detection_threshold = float(detection_threshold)
         self.max_window = int(max_window)
         self.default_pattern_weight = float(default_pattern_weight)
@@ -189,7 +203,10 @@ class AttackTagger:
     def track(self, entity: str) -> EntityTrack:
         """The per-entity track (created on first use)."""
         if entity not in self._tracks:
-            self._tracks[entity] = EntityTrack(entity=entity)
+            # deque(maxlen) keeps the per-alert window trim O(1).
+            self._tracks[entity] = EntityTrack(
+                entity=entity, alerts=deque(maxlen=self.max_window)
+            )
         return self._tracks[entity]
 
     def entities(self) -> list[str]:
@@ -223,6 +240,17 @@ class AttackTagger:
     def _make_decoder(self) -> StreamingDecoder:
         """Fresh incremental decoder bound to the current parameters."""
         return StreamingDecoder(self.parameters, self._active_patterns())
+
+    def _trim_track(self, track: EntityTrack) -> None:
+        """Defensive window trim for tracks not backed by a maxlen deque.
+
+        :meth:`track` always creates ``deque(maxlen=max_window)`` (whose
+        append already evicted the oldest alert, so this is a single
+        length check), but an externally constructed
+        :class:`EntityTrack` may carry a plain list.
+        """
+        while len(track.alerts) > self.max_window:
+            del track.alerts[0]
 
     def _decoder_for(self, track: EntityTrack) -> StreamingDecoder:
         """The track's decoder, created (and synced to its alerts) on demand."""
@@ -288,7 +316,7 @@ class AttackTagger:
         if not track.alerts:
             prior = np.exp(self.parameters.initial_log)
             return np.zeros(0, dtype=np.int64), prior / prior.sum(), []
-        if self.engine == "streaming":
+        if self.engine != "naive":
             decoder = self._decoder_for(track)
             return decoder.map_path(), decoder.final_marginal(), decoder.matched_pattern_names()
         names = [a.name for a in track.alerts]
@@ -309,27 +337,36 @@ class AttackTagger:
         track = self.track(alert.entity)
         if track.detected is not None:
             # Already detected: record the alert for the incident
-            # timeline but skip all inference work.  The decoder is
-            # dropped rather than maintained; `_decoder_for` re-syncs it
-            # lazily should `infer` be called for this entity again.
+            # timeline but skip all inference work.  The deque drops the
+            # evicted alert in O(1), so this fast path does no O(W)
+            # work at all.  The decoder is dropped rather than
+            # maintained; `_decoder_for` re-syncs it lazily should
+            # `infer` be called for this entity again.
             track.alerts.append(alert)
-            if len(track.alerts) > self.max_window:
-                del track.alerts[: len(track.alerts) - self.max_window]
+            self._trim_track(track)
             track.decoder = None
             return None
-        decoder = self._decoder_for(track) if self.engine == "streaming" else None
-        track.alerts.append(alert)
-        if len(track.alerts) > self.max_window:
-            del track.alerts[: len(track.alerts) - self.max_window]
-            if decoder is not None:
-                # The window slid: the forward recursions lose their
-                # anchor, so re-decode the (bounded) window.
-                decoder.rebuild([a.name for a in track.alerts])
-        elif decoder is not None:
+        decoder = self._decoder_for(track) if self.engine != "naive" else None
+        sliding = len(track.alerts) >= self.max_window
+        track.alerts.append(alert)  # deque(maxlen) evicts the oldest in O(1)
+        self._trim_track(track)
+        if decoder is None:
+            pass
+        elif sliding and self.engine == "rebuild":
+            # Legacy slide: re-anchor with a full O(W * K^2) re-decode.
+            decoder.rebuild([a.name for a in track.alerts])
+        else:
             decoder.append(alert.name)
+            if sliding:
+                # Amortised slide: O(K^3) two-stack eviction.
+                decoder.evict_front()
         states: Optional[np.ndarray] = None
         matched: list[str] = []
         if decoder is not None:
+            if decoder.windowed and not decoder.may_fire(self.detection_threshold):
+                # The guard-banded aggregate decision is authoritative
+                # for "cannot fire"; no exact decode is materialised.
+                return None
             final_marginal = decoder.final_marginal()
             final_state = HiddenState(decoder.final_state())
         else:
@@ -427,18 +464,27 @@ class AttackTagger:
     def _replay_decoder(self, sequence: AlertSequence):
         """Yield the synced decoder after each alert of an offline replay.
 
-        Mirrors :meth:`observe` exactly (including window eviction)
-        without touching any per-entity track or detection bookkeeping.
+        Mirrors :meth:`observe` exactly (including the window slide --
+        amortised eviction by default, the full rebuild under
+        ``engine="rebuild"``) without touching any per-entity track or
+        detection bookkeeping.
         """
         decoder = self._make_decoder()
-        names: list[str] = []
+        if self.engine == "rebuild":
+            names: list[str] = []
+            for alert in sequence:
+                names.append(alert.name)
+                if len(names) > self.max_window:
+                    del names[: len(names) - self.max_window]
+                    decoder.rebuild(names)
+                else:
+                    decoder.append(alert.name)
+                yield decoder
+            return
         for alert in sequence:
-            names.append(alert.name)
-            if len(names) > self.max_window:
-                del names[: len(names) - self.max_window]
-                decoder.rebuild(names)
-            else:
-                decoder.append(alert.name)
+            decoder.append(alert.name)
+            if decoder.length > self.max_window:
+                decoder.evict_front()
             yield decoder
 
     def detection_trace(self, sequence: AlertSequence) -> DetectionTrace:

@@ -489,6 +489,69 @@ def chain_marginals(
 
 
 # ---------------------------------------------------------------------------
+# Semiring step-matrix helpers
+# ---------------------------------------------------------------------------
+#
+# A chain decode is a product of per-step "transition ⊗ unary" matrices
+# under a semiring: ``(max, +)`` for Viterbi scores, ``(logsumexp, +)``
+# for forward (sum-product) messages.  The amortised sliding-window
+# decoder (:mod:`repro.core.sliding_window`) aggregates these matrices
+# with a two-stack queue so evicting the oldest step is O(K^3) amortised
+# instead of an O(W * K^2) sequential rebuild.  K is tiny (the number of
+# hidden states), so every product below is a single broadcast + reduce.
+
+
+def chain_step_matrix(pairwise_log: np.ndarray, unary_row: np.ndarray) -> np.ndarray:
+    """One step's combined transition⊗unary matrix.
+
+    ``M[a, b] = pairwise_log[a, b] + unary_row[b]`` -- the log weight of
+    moving from state ``a`` to state ``b`` while emitting this step's
+    evidence.  The same matrix serves both semirings; only the reduction
+    used to chain matrices differs.
+    """
+    return pairwise_log + unary_row[None, :]
+
+
+def maxplus_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """(max, +) matrix product: ``C[i, j] = max_k A[i, k] + B[k, j]``."""
+    return (a[:, :, None] + b[None, :, :]).max(axis=1)
+
+
+def logsumexp_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """(logsumexp, +) matrix product: ``C[i, j] = lse_k A[i, k] + B[k, j]``.
+
+    Step matrices are built from floored log probabilities, so every
+    entry is normally finite and the plain max-shifted computation
+    (which :func:`_logsumexp` reduces to on finite input) suffices --
+    without the all-``-inf``-slice handling that dominates the cost at
+    K = 3.  Hard zeros (``-inf``) in user-supplied tables propagate as
+    NaN, which downstream guard-banded decisions treat as "consult the
+    exact decode".
+    """
+    stacked = a[:, :, None] + b[None, :, :]
+    shift = stacked.max(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return shift + np.log(np.exp(stacked - shift[:, None, :]).sum(axis=1))
+
+
+def maxplus_vecmat(v: np.ndarray, m: np.ndarray) -> np.ndarray:
+    """(max, +) vector-matrix product: ``r[b] = max_a v[a] + M[a, b]``."""
+    return (v[:, None] + m).max(axis=0)
+
+
+def logsumexp_vecmat(v: np.ndarray, m: np.ndarray) -> np.ndarray:
+    """(logsumexp, +) vector-matrix product: ``r[b] = lse_a v[a] + M[a, b]``.
+
+    Same finite-input fast path (and NaN propagation on hard zeros) as
+    :func:`logsumexp_matmul`.
+    """
+    stacked = v[:, None] + m
+    shift = stacked.max(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return shift + np.log(np.exp(stacked - shift[None, :]).sum(axis=0))
+
+
+# ---------------------------------------------------------------------------
 # Batched chain inference
 # ---------------------------------------------------------------------------
 #
@@ -674,4 +737,9 @@ __all__ = [
     "chain_map_decode_batch",
     "chain_marginals_batch",
     "chain_stream_trace_batch",
+    "chain_step_matrix",
+    "maxplus_matmul",
+    "logsumexp_matmul",
+    "maxplus_vecmat",
+    "logsumexp_vecmat",
 ]

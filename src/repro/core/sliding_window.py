@@ -1,0 +1,247 @@
+"""Amortised sliding-window aggregation of chain step matrices.
+
+The windowed chain decode over steps ``s .. t`` is a semiring product
+
+.. math::
+
+    h_s \\otimes M_{s+1} \\otimes M_{s+2} \\otimes \\cdots \\otimes M_t
+
+where ``h_s`` is the head vector (the window's first effective unary
+row, including the initial-state prior) and ``M_j`` is the step matrix
+``transition + unary_j`` (:func:`repro.core.factor_graph
+.chain_step_matrix`).  Under the ``(max, +)`` semiring the product is
+the final Viterbi score vector; under ``(logsumexp, +)`` it is the
+unnormalised forward message.  Appending a step extends the product on
+the right; *evicting* the oldest step removes a factor from the left --
+the operation that previously forced an O(W * K^2) sequential rebuild
+of the whole window.
+
+:class:`SlidingProductWindow` maintains the product of the queued step
+matrices with the classic two-stack (SWAG / DABA-style) sliding
+aggregation:
+
+* the **back stack** holds recently pushed step matrices together with
+  their running left-to-right *prefix* products,
+* the **front stack** holds the older steps with right-to-left *suffix*
+  products, arranged so the top entry is always the product of *all*
+  remaining front elements.
+
+``push`` folds one matrix into the back prefixes (two K^3 semiring
+products, one per semiring); ``pop_front`` pops the front stack,
+*flipping* the back stack into suffix products when the front runs dry.
+Each element is flipped at most once, so eviction is O(K^3) amortised.
+Querying the window product applies the head vector to (at most) the
+front-top suffix and the last back prefix -- O(K^2).
+
+Pattern-bonus relocation edits the unary row of a step already inside
+the queue.  Because both stacks keep the raw step matrices next to
+their aggregates, :meth:`replace` patches *partially*: a back-region
+edit refolds the prefixes from the edited position to the newest
+element, a front-region edit recomputes the suffixes from the edited
+position to the oldest.  Greedy-leftmost pattern matches cluster their
+bonus steps near the window boundaries, so the typical patch is O(K^3)
+with an O(W * K^3) worst case -- the exact re-aggregation
+(:meth:`rebuild`) remains the fallback for indices the structure does
+not hold.
+
+The aggregate is mathematically exact but floating-point *reassociated*
+relative to the sequential recursion, so its values can differ from the
+rebuild path in the last few ulps.  Callers that need bit-identical
+results (the detector's emitted detections must match the seed path
+bit-for-bit) use the aggregate only for guard-banded *decisions* and
+fall back to the exact sequential decode when a decision is within the
+guard band -- see ``StreamingDecoder.may_fire``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .factor_graph import (
+    logsumexp_matmul,
+    logsumexp_vecmat,
+    maxplus_matmul,
+    maxplus_vecmat,
+)
+
+
+class SlidingProductWindow:
+    """Two-stack sliding product of step matrices under both semirings.
+
+    Elements are pushed with strictly increasing, contiguous integer
+    indices (the decoder's absolute step indices) and evicted from the
+    front in the same order.
+    """
+
+    __slots__ = (
+        "_front_indices",
+        "_front_matrices",
+        "_front_max",
+        "_front_lse",
+        "_back_indices",
+        "_back_matrices",
+        "_back_max",
+        "_back_lse",
+    )
+
+    def __init__(self) -> None:
+        # Front stack: list end = stack top = the *oldest* remaining
+        # element; _front_max/_front_lse[q] aggregate every front
+        # element from position q's step to the newest front step.
+        self._front_indices: List[int] = []
+        self._front_matrices: List[np.ndarray] = []
+        self._front_max: List[np.ndarray] = []
+        self._front_lse: List[np.ndarray] = []
+        # Back stack: list end = the newest element; _back_max/
+        # _back_lse[q] aggregate the back elements up to position q, so
+        # the last entry is the whole back product.
+        self._back_indices: List[int] = []
+        self._back_matrices: List[np.ndarray] = []
+        self._back_max: List[np.ndarray] = []
+        self._back_lse: List[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._front_indices) + len(self._back_indices)
+
+    # -- mutation ----------------------------------------------------------
+    def push(self, index: int, matrix: np.ndarray) -> None:
+        """Append one step matrix on the right: O(K^3)."""
+        self._back_indices.append(index)
+        self._back_matrices.append(matrix)
+        if self._back_max:
+            self._back_max.append(maxplus_matmul(self._back_max[-1], matrix))
+            self._back_lse.append(logsumexp_matmul(self._back_lse[-1], matrix))
+        else:
+            self._back_max.append(matrix)
+            self._back_lse.append(matrix)
+
+    def pop_front(self) -> int:
+        """Evict the oldest step: O(K^3) amortised.  Returns its index."""
+        if not self._front_indices:
+            self._flip()
+        if not self._front_indices:
+            raise IndexError("pop from an empty SlidingProductWindow")
+        self._front_matrices.pop()
+        self._front_max.pop()
+        self._front_lse.pop()
+        return self._front_indices.pop()
+
+    def replace(self, index: int, matrix: np.ndarray) -> bool:
+        """Swap the matrix of one queued step after its unary row changed.
+
+        Only the aggregates that cover the edited step are recomputed:
+        back-region prefixes from the edited position rightwards,
+        front-region suffixes from the edited position towards the
+        oldest element.  Returns ``False`` for an index the structure
+        does not hold (the caller's cue to fall back to the exact
+        :meth:`rebuild`).
+        """
+        back = self._back_indices
+        if back and back[0] <= index <= back[-1]:
+            position = index - back[0]
+            self._back_matrices[position] = matrix
+            self._refold_back(position)
+            return True
+        front = self._front_indices
+        if front and front[-1] <= index <= front[0]:
+            # Front positions run newest (0) to oldest (end); suffix at
+            # position q folds the matrices at positions <= q, so the
+            # edit invalidates suffixes from its position to the top.
+            position = front[0] - index
+            self._front_matrices[position] = matrix
+            self._recompute_front(position)
+            return True
+        return False
+
+    def rebuild(self, indices: Iterable[int], matrices: Iterable[np.ndarray]) -> None:
+        """Re-aggregate from scratch: everything into front suffix products."""
+        for stack in (
+            self._front_indices,
+            self._front_matrices,
+            self._front_max,
+            self._front_lse,
+            self._back_indices,
+            self._back_matrices,
+            self._back_max,
+            self._back_lse,
+        ):
+            stack.clear()
+        pairs = list(zip(indices, matrices))
+        for index, matrix in reversed(pairs):
+            self._front_indices.append(index)
+            self._front_matrices.append(matrix)
+        self._recompute_front(0)
+
+    def shift(self, delta: int) -> None:
+        """Rebase all stored step indices by ``-delta`` (buffer compaction)."""
+        self._front_indices = [i - delta for i in self._front_indices]
+        self._back_indices = [i - delta for i in self._back_indices]
+
+    # -- queries -----------------------------------------------------------
+    def apply(self, head: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Window products ``head ⊗ M_(s+1) ⊗ ... ⊗ M_t``: O(K^2).
+
+        Returns ``(viterbi_score, forward_log)`` -- the final Viterbi
+        score vector and the unnormalised forward log message of the
+        window.
+        """
+        score = head
+        forward = head
+        if self._front_indices:
+            score = maxplus_vecmat(score, self._front_max[-1])
+            forward = logsumexp_vecmat(forward, self._front_lse[-1])
+        if self._back_indices:
+            score = maxplus_vecmat(score, self._back_max[-1])
+            forward = logsumexp_vecmat(forward, self._back_lse[-1])
+        return score, forward
+
+    # -- internals ---------------------------------------------------------
+    def _flip(self) -> None:
+        """Move the back stack into the front as suffix products."""
+        for index, matrix in zip(
+            reversed(self._back_indices), reversed(self._back_matrices)
+        ):
+            self._front_indices.append(index)
+            self._front_matrices.append(matrix)
+        self._back_indices.clear()
+        self._back_matrices.clear()
+        self._back_max.clear()
+        self._back_lse.clear()
+        self._recompute_front(0)
+
+    def _recompute_front(self, position: int) -> None:
+        """Recompute front suffixes from ``position`` to the stack top."""
+        matrices = self._front_matrices
+        suffix_max = self._front_max
+        suffix_lse = self._front_lse
+        del suffix_max[position:]
+        del suffix_lse[position:]
+        for q in range(position, len(matrices)):
+            matrix = matrices[q]
+            if q == 0:
+                suffix_max.append(matrix)
+                suffix_lse.append(matrix)
+            else:
+                suffix_max.append(maxplus_matmul(matrix, suffix_max[q - 1]))
+                suffix_lse.append(logsumexp_matmul(matrix, suffix_lse[q - 1]))
+
+    def _refold_back(self, position: int) -> None:
+        """Recompute back prefixes from ``position`` to the newest element."""
+        matrices = self._back_matrices
+        prefix_max = self._back_max
+        prefix_lse = self._back_lse
+        del prefix_max[position:]
+        del prefix_lse[position:]
+        for q in range(position, len(matrices)):
+            matrix = matrices[q]
+            if q == 0:
+                prefix_max.append(matrix)
+                prefix_lse.append(matrix)
+            else:
+                prefix_max.append(maxplus_matmul(prefix_max[q - 1], matrix))
+                prefix_lse.append(logsumexp_matmul(prefix_lse[q - 1], matrix))
+
+
+__all__ = ["SlidingProductWindow"]

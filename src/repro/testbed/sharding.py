@@ -40,7 +40,7 @@ import dataclasses
 import multiprocessing
 import time
 import zlib
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.alerts import Alert
 from ..core.attack_tagger import Detection
@@ -198,6 +198,11 @@ class ShardedDetectorPool:
         self.backend = backend
         self.detector_factory = detector_factory
         self._detections: List[Detection] = []
+        # entity -> shard memo; `shard_of()` stays the documented source
+        # of truth (the cache is populated from it and never diverges:
+        # routing is a pure function of the entity and the fixed shard
+        # count), it just spares hot entities a crc32 per alert.
+        self._shard_cache: Dict[str, int] = {}
         #: Alerts routed to each shard (routing balance introspection).
         self.alerts_routed: List[int] = [0] * self.n_shards
         #: Cumulative seconds each shard spent observing (serial: wall
@@ -235,10 +240,21 @@ class ShardedDetectorPool:
         """Pool whose shards are clones of a pristine template detector."""
         return cls(DetectorTemplate(detector), n_shards=n_shards, backend=backend)
 
+    #: Entity->shard memo entries kept before the cache is dropped and
+    #: rebuilt (bounds parent-process memory on high-cardinality
+    #: entity streams; routing stays correct either way).
+    _SHARD_CACHE_LIMIT = 1 << 20
+
     # -- routing -----------------------------------------------------------
     def shard_of(self, entity: str) -> int:
-        """The shard the entity's alerts are routed to."""
-        return shard_of(entity, self.n_shards)
+        """The shard the entity's alerts are routed to (memoised)."""
+        shard = self._shard_cache.get(entity)
+        if shard is None:
+            if len(self._shard_cache) >= self._SHARD_CACHE_LIMIT:
+                self._shard_cache.clear()
+            shard = shard_of(entity, self.n_shards)
+            self._shard_cache[entity] = shard
+        return shard
 
     def _partition(
         self, alerts: Sequence[Alert]
@@ -246,8 +262,9 @@ class ShardedDetectorPool:
         """Split one batch into per-shard sub-batches, remembering positions."""
         sub_batches: List[List[Alert]] = [[] for _ in range(self.n_shards)]
         positions: List[List[int]] = [[] for _ in range(self.n_shards)]
+        memo = self.shard_of
         for position, alert in enumerate(alerts):
-            shard = shard_of(alert.entity, self.n_shards)
+            shard = memo(alert.entity)
             sub_batches[shard].append(alert)
             positions[shard].append(position)
         return sub_batches, positions

@@ -1,0 +1,422 @@
+"""Equivalence + unit suite for the amortised sliding-window decode.
+
+The two-stack eviction path must be a pure performance optimisation:
+for every stream, every window size, and every eviction/rescan/fallback
+corner, the streaming engine must emit detections that are
+*bit-identical* (exact ``==`` on confidences and trajectories) to the
+seed re-decode path (``engine="naive"``) and to the previous
+rebuild-on-slide path (``engine="rebuild"``).  These tests hammer that
+claim with randomized eviction-heavy streams at tiny windows, plus
+deterministic probes of the two-stack boundary fallback, the
+pattern-cursor rescan logic, and the satellite optimisations (deque
+window trim, shard-routing memo, sort-free bonus ordering).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.core import AttackTagger, SlidingProductWindow, default_parameters
+from repro.core.alerts import Alert, DEFAULT_VOCABULARY
+from repro.core.attack_tagger import PatternSpec
+from repro.core.factor_graph import (
+    _logsumexp,
+    chain_step_matrix,
+    logsumexp_vecmat,
+    maxplus_vecmat,
+)
+from repro.core.states import NUM_STATES, HiddenState
+from repro.core.streaming import StreamingDecoder, WeightedPattern
+from repro.incidents import DEFAULT_CATALOGUE
+from repro.testbed.sharding import ShardedDetectorPool, shard_of
+
+ALL_NAMES = [spec.name for spec in DEFAULT_VOCABULARY]
+
+
+def _random_stream(rng, length, entity="entity:x"):
+    return [
+        Alert(float(i), ALL_NAMES[rng.integers(len(ALL_NAMES))], entity)
+        for i in range(length)
+    ]
+
+
+def _taggers(max_window, **kwargs):
+    kwargs.setdefault("patterns", list(DEFAULT_CATALOGUE))
+    return {
+        engine: AttackTagger(max_window=max_window, engine=engine, **kwargs)
+        for engine in ("streaming", "rebuild", "naive")
+    }
+
+
+def _assert_identical_detection(ds, dn):
+    assert (ds is None) == (dn is None)
+    if ds is None:
+        return
+    assert ds.alert_index == dn.alert_index
+    assert ds.state is dn.state
+    assert ds.confidence == dn.confidence  # bit-identical, not approx
+    assert ds.matched_patterns == dn.matched_patterns
+    assert ds.state_trajectory == dn.state_trajectory
+
+
+class TestSlidingProductWindow:
+    """Unit checks of the two-stack aggregator against direct folds."""
+
+    def _reference(self, head, matrices):
+        score, forward = head, head
+        for matrix in matrices:
+            score = maxplus_vecmat(score, matrix)
+            forward = logsumexp_vecmat(forward, matrix)
+        return score, forward
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_push_pop_matches_direct_fold(self, seed):
+        rng = np.random.default_rng(seed)
+        window = SlidingProductWindow()
+        live: deque = deque()
+        next_index = 0
+        head = rng.normal(size=NUM_STATES)
+        for _ in range(200):
+            if live and rng.random() < 0.45:
+                assert window.pop_front() == live.popleft()[0]
+            else:
+                matrix = rng.normal(size=(NUM_STATES, NUM_STATES))
+                window.push(next_index, matrix)
+                live.append((next_index, matrix))
+                next_index += 1
+            assert len(window) == len(live)
+            score, forward = window.apply(head)
+            ref_score, ref_forward = self._reference(head, [m for _, m in live])
+            np.testing.assert_allclose(score, ref_score, rtol=0, atol=1e-9)
+            np.testing.assert_allclose(forward, ref_forward, rtol=0, atol=1e-9)
+
+    def test_replace_patches_both_regions(self):
+        rng = np.random.default_rng(7)
+        window = SlidingProductWindow()
+        matrices = [rng.normal(size=(NUM_STATES, NUM_STATES)) for _ in range(6)]
+        for index, matrix in enumerate(matrices):
+            window.push(index, matrix)
+        window.pop_front()  # flips everything into the front stack
+        # Front-region edit: suffixes are partially recomputed in place.
+        front_replacement = rng.normal(size=(NUM_STATES, NUM_STATES))
+        assert window.replace(3, front_replacement)
+        matrices[3] = front_replacement
+        # Back-region edit: prefixes are partially refolded in place.
+        window.push(6, rng.normal(size=(NUM_STATES, NUM_STATES)))
+        back_replacement = rng.normal(size=(NUM_STATES, NUM_STATES))
+        assert window.replace(6, back_replacement)
+        # An index the structure does not hold is refused (the caller's
+        # cue to fall back to the exact rebuild).
+        assert not window.replace(0, rng.normal(size=(NUM_STATES, NUM_STATES)))
+        assert not window.replace(7, rng.normal(size=(NUM_STATES, NUM_STATES)))
+        head = rng.normal(size=NUM_STATES)
+        score, forward = window.apply(head)
+        ref_score, ref_forward = self._reference(head, matrices[1:] + [back_replacement])
+        np.testing.assert_allclose(score, ref_score, rtol=0, atol=1e-9)
+        np.testing.assert_allclose(forward, ref_forward, rtol=0, atol=1e-9)
+
+    def test_rebuild_and_shift(self):
+        rng = np.random.default_rng(11)
+        window = SlidingProductWindow()
+        matrices = [rng.normal(size=(NUM_STATES, NUM_STATES)) for _ in range(5)]
+        window.rebuild(range(10, 15), matrices)
+        window.shift(10)
+        assert window.pop_front() == 0
+        head = rng.normal(size=NUM_STATES)
+        score, _ = window.apply(head)
+        ref_score, _ = self._reference(head, matrices[1:])
+        np.testing.assert_allclose(score, ref_score, rtol=0, atol=1e-9)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            SlidingProductWindow().pop_front()
+
+
+class TestEvictionEquivalence:
+    """Randomized eviction-heavy streams: streaming == rebuild == naive."""
+
+    @pytest.mark.parametrize("max_window", [2, 3, 5, 8])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bit_identical_detections_and_inference(self, max_window, seed):
+        rng = np.random.default_rng(1000 * max_window + seed)
+        stream = _random_stream(rng, 6 * max_window + 5)
+        taggers = _taggers(max_window, detection_threshold=0.7)
+        for alert in stream:
+            results = {name: tagger.observe(alert) for name, tagger in taggers.items()}
+            _assert_identical_detection(results["streaming"], results["naive"])
+            _assert_identical_detection(results["rebuild"], results["naive"])
+            states = {}
+            marginals = {}
+            for name, tagger in taggers.items():
+                s, m, matched = tagger.infer("entity:x")
+                states[name], marginals[name] = s, m
+                assert matched == taggers["naive"].infer("entity:x")[2] or name == "naive"
+            assert np.array_equal(states["streaming"], states["naive"])
+            assert np.array_equal(states["rebuild"], states["naive"])
+            assert np.array_equal(marginals["streaming"], marginals["naive"])
+            assert np.array_equal(marginals["rebuild"], marginals["naive"])
+
+    @pytest.mark.parametrize("max_window", [3, 5])
+    def test_long_stream_with_compaction(self, max_window):
+        """Hundreds of evictions force buffer compaction several times."""
+        rng = np.random.default_rng(max_window)
+        stream = _random_stream(rng, 220)
+        taggers = _taggers(max_window, detection_threshold=0.999)
+        for alert in stream:
+            ds = taggers["streaming"].observe(alert)
+            dn = taggers["naive"].observe(alert)
+            _assert_identical_detection(ds, dn)
+        s_states, s_marg, s_matched = taggers["streaming"].infer("entity:x")
+        n_states, n_marg, n_matched = taggers["naive"].infer("entity:x")
+        assert np.array_equal(s_states, n_states)
+        assert np.array_equal(s_marg, n_marg)
+        assert s_matched == n_matched
+        decoder = taggers["streaming"].track("entity:x").decoder
+        # The live decoder really took the amortised path (and compacted:
+        # its buffers must not have grown with the 220-alert stream).
+        assert decoder is not None and decoder.windowed
+        assert decoder._base.shape[0] <= 8 * max_window + 16
+
+    def test_windowed_unary_table_matches_naive_build(self):
+        rng = np.random.default_rng(42)
+        taggers = _taggers(4, detection_threshold=0.999)
+        streaming, naive = taggers["streaming"], taggers["naive"]
+        for alert in _random_stream(rng, 37):
+            streaming.observe(alert)
+            naive.observe(alert)
+        decoder = streaming.track("entity:x").decoder
+        assert decoder.windowed
+        names = [a.name for a in naive.track("entity:x").alerts]
+        unary, _ = naive._build_unary(names)
+        np.testing.assert_array_equal(decoder.unary_table(), unary)
+
+    def test_detection_trace_equivalence_under_eviction(self):
+        from repro.core.sequences import AlertSequence
+
+        rng = np.random.default_rng(5)
+        names = [ALL_NAMES[rng.integers(len(ALL_NAMES))] for _ in range(40)]
+        sequence = AlertSequence.from_names(names)
+        taggers = _taggers(6)
+        traces = {
+            name: tagger.detection_trace(sequence) for name, tagger in taggers.items()
+        }
+        for engine in ("streaming", "rebuild"):
+            assert np.array_equal(
+                traces[engine].malicious_probability,
+                traces["naive"].malicious_probability,
+            )
+            assert np.array_equal(
+                traces[engine].map_is_malicious, traces["naive"].map_is_malicious
+            )
+
+
+class TestEvictionCursorRescans:
+    """Deterministic probes of the eviction-aware pattern-cursor logic."""
+
+    FILLER = "alert_login_normal"
+    SYM_A = "alert_port_scan"
+    SYM_B = "alert_ssh_key_enumeration"
+
+    def _pair(self, pattern_names, max_window):
+        patterns = [PatternSpec(name="SX", names=tuple(pattern_names))]
+        common = dict(
+            patterns=patterns, max_window=max_window, detection_threshold=0.999
+        )
+        return (
+            AttackTagger(engine="streaming", **common),
+            AttackTagger(engine="naive", **common),
+        )
+
+    def _drive(self, streaming, naive, names):
+        for i, name in enumerate(names):
+            alert = Alert(float(i), name, "entity:x")
+            _assert_identical_detection(streaming.observe(alert), naive.observe(alert))
+            s_states, s_marg, s_matched = streaming.infer("entity:x")
+            n_states, n_marg, n_matched = naive.infer("entity:x")
+            assert np.array_equal(s_states, n_states), i
+            assert np.array_equal(s_marg, n_marg), i
+            assert s_matched == n_matched, i
+
+    def test_evicting_first_matched_symbol_rescans(self):
+        """Dropping a match's first step must shrink/relocate the match."""
+        names = [self.SYM_A] + [self.FILLER] * 6 + [self.SYM_B] + [self.FILLER] * 6
+        self._drive(*self._pair([self.SYM_A, self.SYM_B], 4), names)
+
+    def test_duplicate_symbol_relocates_match_start(self):
+        """Greedy match survives eviction by sliding onto a later duplicate."""
+        names = (
+            [self.SYM_A, self.SYM_A, self.SYM_B]
+            + [self.FILLER] * 5
+            + [self.SYM_B]
+            + [self.FILLER] * 5
+        )
+        self._drive(*self._pair([self.SYM_A, self.SYM_B], 5), names)
+
+    def test_completed_pattern_uncompletes_on_eviction(self):
+        """A fully matched pattern loses the match as its steps evict."""
+        streaming, naive = self._pair([self.SYM_A, self.SYM_B], 3)
+        names = [self.SYM_A, self.SYM_B] + [self.FILLER] * 6
+        self._drive(streaming, naive, names)
+        assert streaming.infer("entity:x")[2] == []
+
+    def test_bonus_relocation_across_two_stack_boundary(self):
+        """Advancing a match whose bonus sits in the *front* region.
+
+        The window is arranged so the partially matched symbol's step
+        has been flipped into the front stack when the second symbol
+        arrives; the partial front-suffix patch (and the simultaneous
+        back-region insertion of the new bonus) must keep everything
+        bit-identical across the two-stack boundary.
+        """
+        window = 8
+        names = [self.FILLER] * 6 + [self.SYM_A, self.FILLER]  # fills the window
+        names += [self.FILLER] * 4  # four evictions: SYM_A's step enters the front
+        names += [self.SYM_B]  # advance relocates the bonus across the boundary
+        names += [self.FILLER] * 10  # and keep evicting past both steps
+        self._drive(*self._pair([self.SYM_A, self.SYM_B], window), names)
+
+
+class TestBonusOrderingWithoutSort:
+    """`_refresh_unary` must sum same-step bonuses in catalogue order."""
+
+    def test_out_of_order_waiting_lists_still_sum_in_catalogue_order(self):
+        # P0 waits on Y after X, P1 waits on Y after Z.  Feeding Z first
+        # queues P1 ahead of P0 in the waiting list for Y, so a sort-free
+        # insertion must still fold both step-2 bonuses in P0-then-P1
+        # (catalogue) order to stay bit-identical with the naive build.
+        x, y, z = "alert_port_scan", "alert_ssh_key_enumeration", "alert_vuln_scan"
+        patterns = [
+            PatternSpec(name="P0", names=(x, y)),
+            PatternSpec(name="P1", names=(z, y)),
+        ]
+        parameters = default_parameters()
+        decoder = StreamingDecoder(
+            parameters,
+            [WeightedPattern(p.name, p.names, 2.0) for p in patterns],
+        )
+        naive = AttackTagger(parameters, patterns=patterns, engine="naive")
+        names = [z, x, y]
+        for name in names:
+            decoder.append(name)
+        unary, _ = naive._build_unary(names)
+        np.testing.assert_array_equal(decoder.unary_table(), unary)
+
+    def test_eviction_rescan_inserts_bonus_in_order(self):
+        x, y, z = "alert_port_scan", "alert_ssh_key_enumeration", "alert_vuln_scan"
+        patterns = [
+            PatternSpec(name="P0", names=(x, y)),
+            PatternSpec(name="P1", names=(z, y)),
+            PatternSpec(name="P2", names=(x, z)),
+        ]
+        common = dict(patterns=patterns, max_window=4, detection_threshold=0.999)
+        streaming = AttackTagger(engine="streaming", **common)
+        naive = AttackTagger(engine="naive", **common)
+        rng = np.random.default_rng(3)
+        pool = [x, y, z, "alert_login_normal"]
+        names = [pool[rng.integers(len(pool))] for _ in range(40)]
+        for i, name in enumerate(names):
+            alert = Alert(float(i), name, "entity:x")
+            _assert_identical_detection(streaming.observe(alert), naive.observe(alert))
+            s_states, s_marg, _ = streaming.infer("entity:x")
+            n_states, n_marg, _ = naive.infer("entity:x")
+            assert np.array_equal(s_states, n_states), i
+            assert np.array_equal(s_marg, n_marg), i
+
+
+class TestSatelliteOptimisations:
+    def test_track_window_trim_is_constant_time_deque(self):
+        tagger = AttackTagger(max_window=4, detection_threshold=0.999)
+        for i in range(12):
+            tagger.observe(Alert(float(i), "alert_login_normal", "user:a"))
+        track = tagger.track("user:a")
+        assert isinstance(track.alerts, deque)
+        assert track.alerts.maxlen == 4
+        assert len(track.alerts) == 4
+        assert [a.timestamp for a in track.alerts] == [8.0, 9.0, 10.0, 11.0]
+
+    def test_detected_fast_path_keeps_trimming(self):
+        tagger = AttackTagger(max_window=3)
+        track = tagger.track("user:a")
+        track.detected = object()  # sentinel: fast path only records
+        for i in range(9):
+            tagger.observe(Alert(float(i), "alert_login_normal", "user:a"))
+        assert len(track.alerts) == 3
+
+    def test_shard_routing_memo_matches_source_of_truth(self):
+        pool = ShardedDetectorPool.from_template(AttackTagger(), n_shards=5)
+        alerts = [
+            Alert(float(i), "alert_login_normal", f"user:{i % 7}") for i in range(50)
+        ]
+        pool.observe_batch(alerts)
+        assert pool._shard_cache  # memo populated
+        for entity, shard in pool._shard_cache.items():
+            assert shard == shard_of(entity, pool.n_shards)
+        assert pool.shard_of("user:0") == shard_of("user:0", 5)
+        pool.close()
+
+    def test_hard_zero_observation_does_not_suppress_detections(self):
+        """-inf log potentials must defer to the exact decode, not NaN out.
+
+        The lean semiring helpers assume finite inputs; a user-supplied
+        parameter table with a hard zero turns the window aggregate into
+        NaN, and ``may_fire`` must then consult the exact decode instead
+        of silently answering "cannot fire".
+        """
+        parameters = default_parameters()
+        parameters.observation_log[0, 0] = -np.inf
+        rng = np.random.default_rng(12)
+        pool = [ALL_NAMES[0], ALL_NAMES[7], ALL_NAMES[16], ALL_NAMES[18]]
+        common = dict(patterns=list(DEFAULT_CATALOGUE), max_window=6)
+        streaming = AttackTagger(parameters, engine="streaming", **common)
+        naive = AttackTagger(parameters, engine="naive", **common)
+        fired = 0
+        for i in range(40):
+            name = pool[rng.integers(len(pool))]
+            alert = Alert(float(i), name, "entity:x")
+            ds, dn = streaming.observe(alert), naive.observe(alert)
+            _assert_identical_detection(ds, dn)
+            fired += ds is not None
+        assert fired == 1  # the stream must actually cross the threshold
+
+    def test_windowed_final_marginal_is_mutation_safe(self):
+        """Read-outs must hand back copies, never the decode cache."""
+        rng = np.random.default_rng(8)
+        tagger = AttackTagger(
+            patterns=list(DEFAULT_CATALOGUE), max_window=5, detection_threshold=0.999
+        )
+        for alert in _random_stream(rng, 30):
+            tagger.observe(alert)
+        decoder = tagger.track("entity:x").decoder
+        assert decoder.windowed
+        first = decoder.final_marginal()
+        expected = first.copy()
+        first[:] = 0.0
+        np.testing.assert_array_equal(decoder.final_marginal(), expected)
+        path = decoder.map_path()
+        path[:] = -1
+        assert decoder.map_path()[0] != -1 or (decoder.map_path() != -1).any()
+
+    def test_window_scores_match_exact_decode_within_guard(self):
+        """Aggregate decisions track the exact decode to ~reassociation error."""
+        rng = np.random.default_rng(9)
+        tagger = AttackTagger(
+            patterns=list(DEFAULT_CATALOGUE), max_window=6, detection_threshold=0.999
+        )
+        for alert in _random_stream(rng, 50):
+            tagger.observe(alert)
+        decoder = tagger.track("entity:x").decoder
+        assert decoder.windowed
+        score, forward = decoder.window_scores()
+        exact_prob = decoder.final_malicious_probability()
+        aggregate_prob = float(
+            np.exp(forward[int(HiddenState.MALICIOUS)] - _logsumexp(forward))
+        )
+        assert abs(aggregate_prob - exact_prob) < 1e-9
+        unary = decoder.unary_table()
+        ref = unary[0]
+        for row in unary[1:]:
+            ref = maxplus_vecmat(ref, chain_step_matrix(decoder._pairwise, row))
+        np.testing.assert_allclose(score, ref, rtol=0, atol=1e-9)
