@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Any, Iterator, Mapping, Optional
+from typing import Any, Iterator, Mapping, Optional, Sequence
 
 from .states import AttackStage
 
@@ -467,6 +467,56 @@ def sort_alerts(alerts: list[Alert]) -> list[Alert]:
     return sorted(alerts, key=lambda a: a.timestamp)
 
 
+#: Columnar wire representation of an alert batch: parallel tuples of
+#: ``(timestamps, names, entities, source_ips, hosts, monitors,
+#: attributes)``.  ``attributes`` is ``None`` when every alert in the
+#: batch has empty attributes (the common case for replayed incident
+#: streams), else a tuple of per-alert dicts.
+AlertColumns = tuple
+
+
+def pack_alert_columns(alerts: Sequence[Alert]) -> AlertColumns:
+    """Pack an alert batch into the columnar wire representation.
+
+    Pickling a batch of :class:`Alert` dataclass instances pays a
+    per-object reconstruction cost (class reference, field dict) on
+    both sides of a process boundary.  Parallel tuples of primitive
+    fields pickle as flat buffers instead; the receiving side rebuilds
+    the ``Alert`` objects with :func:`unpack_alert_columns`, moving
+    that reconstruction cost onto the (parallel) worker.
+    """
+    attributes: Optional[tuple] = None
+    if any(a.attributes for a in alerts):
+        attributes = tuple(dict(a.attributes) for a in alerts)
+    return (
+        tuple(a.timestamp for a in alerts),
+        tuple(a.name for a in alerts),
+        tuple(a.entity for a in alerts),
+        tuple(a.source_ip for a in alerts),
+        tuple(a.host for a in alerts),
+        tuple(a.monitor for a in alerts),
+        attributes,
+    )
+
+
+def unpack_alert_columns(columns: AlertColumns) -> list[Alert]:
+    """Rebuild the alert batch packed by :func:`pack_alert_columns`."""
+    timestamps, names, entities, source_ips, hosts, monitors, attributes = columns
+    if attributes is None:
+        return [
+            Alert(timestamp, name, entity, source_ip, host, monitor)
+            for timestamp, name, entity, source_ip, host, monitor in zip(
+                timestamps, names, entities, source_ips, hosts, monitors
+            )
+        ]
+    return [
+        Alert(timestamp, name, entity, source_ip, host, monitor, attrs)
+        for timestamp, name, entity, source_ip, host, monitor, attrs in zip(
+            timestamps, names, entities, source_ips, hosts, monitors, attributes
+        )
+    ]
+
+
 __all__ = [
     "AlertCategory",
     "Severity",
@@ -476,4 +526,7 @@ __all__ = [
     "build_default_vocabulary",
     "DEFAULT_VOCABULARY",
     "sort_alerts",
+    "AlertColumns",
+    "pack_alert_columns",
+    "unpack_alert_columns",
 ]

@@ -39,7 +39,13 @@ from .responder import (
     ResponseRecord,
 )
 from .scheduler import EventHandle, Simulator
-from .sharding import BACKENDS, DetectorTemplate, ShardedDetectorPool, shard_of
+from .sharding import (
+    BACKENDS,
+    DetectorTemplate,
+    ShardedDetectorPool,
+    ShardWorkerError,
+    shard_of,
+)
 from .stages import DetectionStage, PipelineStage, ResponseStage
 from .services import (
     ELF_MAGIC_HEX,
@@ -123,6 +129,7 @@ __all__ = [
     "BACKENDS",
     "DetectorTemplate",
     "ShardedDetectorPool",
+    "ShardWorkerError",
     "shard_of",
     "PipelineStage",
     "DetectionStage",

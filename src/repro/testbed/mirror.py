@@ -12,7 +12,8 @@ pipeline can wire the real components and tests can attach probes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Iterable, Optional
+from collections import deque
+from typing import Callable, Deque, Iterable, Optional
 
 from ..core.alerts import Alert
 from ..telemetry.logsource import RawLogRecord
@@ -23,23 +24,47 @@ AlertSubscriber = Callable[[Alert], None]
 
 @dataclasses.dataclass
 class MirrorStats:
-    """Counters for what flowed through the mirror."""
+    """Counters for what flowed through the mirror.
+
+    ``dropped_raw`` / ``dropped_alerts`` count every record evicted
+    from the respective bounded buffer (one per publish once the buffer
+    is saturated); they say nothing about delivery to subscribers,
+    which always see every published item.
+    """
 
     raw_records: int = 0
     alerts: int = 0
     dropped_raw: int = 0
+    dropped_alerts: int = 0
 
 
 class TrafficMirror:
-    """Publish/subscribe bus for raw records and normalised alerts."""
+    """Publish/subscribe bus for raw records and normalised alerts.
+
+    With ``max_buffer`` set, the retention buffers are bounded
+    ``deque``\\ s: a publish at capacity evicts the oldest entry in
+    O(1) (the previous list-based trim shifted the whole buffer on
+    every publish once saturated) and is counted in
+    :attr:`MirrorStats.dropped_raw` / :attr:`MirrorStats.dropped_alerts`.
+    """
 
     def __init__(self, *, max_buffer: Optional[int] = None) -> None:
         self._raw_subscribers: list[RawSubscriber] = []
         self._alert_subscribers: list[AlertSubscriber] = []
-        self.max_buffer = max_buffer
-        self.raw_buffer: list[RawLogRecord] = []
-        self.alert_buffer: list[Alert] = []
+        self.raw_buffer: Deque[RawLogRecord] = deque(maxlen=max_buffer)
+        self.alert_buffer: Deque[Alert] = deque(maxlen=max_buffer)
         self.stats = MirrorStats()
+
+    @property
+    def max_buffer(self) -> Optional[int]:
+        """The retention bound (``None`` = unbounded).
+
+        Fixed at construction (it is the deques' ``maxlen``); exposed
+        read-only so a silent ``mirror.max_buffer = n`` assignment --
+        which the old list-based trim honoured -- fails loudly instead
+        of doing nothing.
+        """
+        return self.raw_buffer.maxlen
 
     # -- subscription ------------------------------------------------------
     def subscribe_raw(self, subscriber: RawSubscriber) -> None:
@@ -54,7 +79,7 @@ class TrafficMirror:
     def publish_raw(self, record: RawLogRecord) -> None:
         """Mirror one raw monitor record."""
         self.stats.raw_records += 1
-        self._buffer(self.raw_buffer, record)
+        self.stats.dropped_raw += self._buffer(self.raw_buffer, record)
         for subscriber in self._raw_subscribers:
             subscriber(record)
 
@@ -66,7 +91,7 @@ class TrafficMirror:
     def publish_alert(self, alert: Alert) -> None:
         """Forward one normalised alert to the detection models."""
         self.stats.alerts += 1
-        self._buffer(self.alert_buffer, alert)
+        self.stats.dropped_alerts += self._buffer(self.alert_buffer, alert)
         for subscriber in self._alert_subscribers:
             subscriber(alert)
 
@@ -76,12 +101,11 @@ class TrafficMirror:
             self.publish_alert(alert)
 
     # -- internals ----------------------------------------------------------------
-    def _buffer(self, buffer: list, item) -> None:
+    def _buffer(self, buffer: Deque, item) -> int:
+        """Append ``item``; return how many entries the append evicted."""
+        dropped = 1 if buffer.maxlen is not None and len(buffer) == buffer.maxlen else 0
         buffer.append(item)
-        if self.max_buffer is not None and len(buffer) > self.max_buffer:
-            del buffer[: len(buffer) - self.max_buffer]
-            if buffer is self.raw_buffer:
-                self.stats.dropped_raw += 1
+        return dropped
 
 
 __all__ = ["TrafficMirror", "MirrorStats", "RawSubscriber", "AlertSubscriber"]

@@ -206,35 +206,179 @@ class TestbedPipeline:
         return out
 
     # ------------------------------------------------------------------
-    # Ingestion
+    # Ingestion (batch-synchronous reference path)
     # ------------------------------------------------------------------
     def ingest_raw(self, records: Iterable[RawLogRecord]) -> list[Detection]:
-        """Mirror raw monitor records and process them through every stage."""
+        """Mirror raw monitor records and process them through every stage.
+
+        Records published directly via ``pipeline.mirror.publish_raw``
+        since the last ingestion are drained first, as their own batch,
+        so the per-call statistics attribute every record to the call
+        that processed it.
+        """
+        detections = self._drain_pending() if self._pending_raw else []
         for record in records:
             self.mirror.publish_raw(record)
-        return self._drain_pending()
+        detections.extend(self._drain_pending())
+        return detections
 
-    def _drain_pending(self) -> list[Detection]:
+    def _take_pending_normalized(self) -> list[Alert]:
+        """Swap out the pending raw records and normalise them (counted)."""
         records, self._pending_raw[:] = list(self._pending_raw), []
         self.stats.raw_records += len(records)
         alerts = self._run_stage(self.normalizer_stage, records)
         self.stats.normalized_alerts += len(alerts)
-        return self._process_alerts(alerts)
+        return alerts
+
+    def _drain_pending(self) -> list[Detection]:
+        return self._process_alerts(self._take_pending_normalized())
 
     def ingest_alerts(self, alerts: Iterable[Alert]) -> list[Detection]:
-        """Ingest pre-normalised alerts (replayed incidents skip monitors)."""
+        """Ingest pre-normalised alerts (replayed incidents skip monitors).
+
+        Raw records pending on the mirror are drained first (see
+        :meth:`ingest_raw`) instead of silently waiting for a later
+        ``ingest_raw`` call.
+        """
+        detections = self._drain_pending() if self._pending_raw else []
         alerts = list(alerts)
         self.stats.raw_records += len(alerts)
         self.stats.normalized_alerts += len(alerts)
-        return self._process_alerts(alerts)
+        detections.extend(self._process_alerts(alerts))
+        return detections
 
     # ------------------------------------------------------------------
     def _process_alerts(self, alerts: Sequence[Alert]) -> list[Detection]:
+        # The batch-synchronous path is the overlapped schedule with
+        # zero overlap: submit, then immediately collect and respond.
+        # Sharing the tail (and the failure unwind) keeps the two
+        # paths' accounting identical by construction.
+        try:
+            self._submit_detection(self._prep_filtered(alerts))
+            return self._collect_and_respond()
+        except BaseException:
+            self._drain_inflight_detections()
+            raise
+
+    def _prep_filtered(self, alerts: Sequence[Alert]) -> list[Alert]:
+        """Filter one normalised batch and publish the survivors."""
         filtered = self._run_stage(self.filter_stage, alerts)
         self.stats.filtered_alerts += len(filtered)
         for alert in filtered:
             self.mirror.publish_alert(alert)
-        new_detections = self._run_stage(self.detection_stage, filtered)
+        return filtered
+
+    # ------------------------------------------------------------------
+    # Ingestion (overlapped / double-buffered driver)
+    # ------------------------------------------------------------------
+    def ingest_raw_stream(
+        self, batches: Iterable[Iterable[RawLogRecord]]
+    ) -> list[Detection]:
+        """Process a stream of raw-record batches with stage overlap.
+
+        While the detection stage's (process-backed) shard workers chew
+        batch N, the calling thread already normalises and filters
+        batch N+1 (double buffering), so normalize/filter latency adds
+        once per stream instead of once per batch.  Detections,
+        responses, and all stats counters are bit-identical to looping
+        :meth:`ingest_raw` over the same batches -- the normalize,
+        filter, and detection stages each still see the batches in
+        stream order, and no stage feeds state back into an earlier
+        one.  Per-stage timings stay attributed to their stage: the
+        parent's wait inside ``collect`` counts as detection time, the
+        overlapped prep counts as normalize/filter time.
+        """
+        detections = self._drain_pending() if self._pending_raw else []
+        detections.extend(self._drive_overlapped(self._prep_raw_batches(batches)))
+        return detections
+
+    def ingest_alert_batches(
+        self, batches: Iterable[Iterable[Alert]]
+    ) -> list[Detection]:
+        """Overlapped driver over pre-normalised alert batches.
+
+        The double-buffered counterpart of looping
+        :meth:`ingest_alerts` (see :meth:`ingest_raw_stream`), with
+        bit-identical detections, responses, and counters.
+        """
+        detections = self._drain_pending() if self._pending_raw else []
+        detections.extend(self._drive_overlapped(self._prep_alert_batches(batches)))
+        return detections
+
+    def _prep_raw_batches(self, batches):
+        """Mirror, normalise, and filter raw batches one at a time."""
+        for records in batches:
+            for record in records:
+                self.mirror.publish_raw(record)
+            yield self._prep_filtered(self._take_pending_normalized())
+
+    def _prep_alert_batches(self, batches):
+        """Count and filter pre-normalised batches one at a time."""
+        for alerts in batches:
+            alerts = list(alerts)
+            self.stats.raw_records += len(alerts)
+            self.stats.normalized_alerts += len(alerts)
+            yield self._prep_filtered(alerts)
+
+    def _drive_overlapped(self, filtered_batches) -> list[Detection]:
+        """Double-buffered schedule over prepped (filtered) batches.
+
+        Advancing the ``filtered_batches`` generator preps batch N+1;
+        the loop body interleaves that with the detection stage's
+        submit/collect so the prep of batch N+1 happens while the shard
+        workers hold batch N::
+
+            prep 1, submit 1, [prep 2, collect 1, respond 1, submit 2],
+            [prep 3, collect 2, respond 2, submit 3], ..., collect B,
+            respond B
+        """
+        detections: list[Detection] = []
+        try:
+            inflight = False
+            for filtered in filtered_batches:
+                if inflight:
+                    inflight = False
+                    detections.extend(self._collect_and_respond())
+                self._submit_detection(filtered)
+                inflight = True
+            if inflight:
+                detections.extend(self._collect_and_respond())
+            return detections
+        except BaseException:
+            self._drain_inflight_detections()
+            raise
+
+    def _drain_inflight_detections(self) -> None:
+        """Finish every submitted-but-uncollected detection batch.
+
+        A prep/submit/collect failure must not leave a batch in
+        flight: a later ingestion call would otherwise collect the
+        stale ticket and return the wrong batch's detections.
+        Whatever was already submitted is finished normally (its
+        detections land in the logs and counters; they cannot be
+        returned since the caller is re-raising).
+        """
+        while self.detection_stage.pending_batches:
+            try:
+                self._collect_and_respond()
+            except Exception:
+                pass
+
+    def _submit_detection(self, filtered: Sequence[Alert]) -> None:
+        """Ship one filtered batch to the detection stage (timed)."""
+        started = time.perf_counter()
+        self.detection_stage.submit(filtered)
+        self.stats.add_stage_seconds(
+            self.detection_stage.name, time.perf_counter() - started
+        )
+
+    def _collect_and_respond(self) -> list[Detection]:
+        """Finish the in-flight detection batch and run the response stage."""
+        started = time.perf_counter()
+        new_detections = self.detection_stage.collect()
+        self.stats.add_stage_seconds(
+            self.detection_stage.name, time.perf_counter() - started
+        )
         self.stats.detections += len(new_detections)
         actions = self._run_stage(self.response_stage, new_detections)
         self.stats.responses += len(actions)

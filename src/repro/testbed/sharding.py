@@ -26,6 +26,31 @@ Two execution backends share the same routing and merge logic:
   sub-batches over pipes.  Workers hold their detector replica for the
   lifetime of the pool (detector state must persist across batches), so
   the per-batch cost is pickling the sub-batches, not detector state.
+  Sub-batches cross the pipe in the columnar representation of
+  :func:`repro.core.alerts.pack_alert_columns` (parallel tuples of
+  primitive fields instead of per-``Alert`` objects), rebuilt into
+  ``Alert`` instances worker-side.
+
+**Non-blocking fan-out.**  ``observe_batch`` is sugar over the
+two-phase :meth:`ShardedDetectorPool.submit_batch` /
+:meth:`ShardedDetectorPool.collect` API: ``submit_batch`` ships the
+sub-batches to the workers and returns immediately with a ticket, so
+the caller can do other work (normalise and filter the *next* batch --
+see :meth:`repro.testbed.pipeline.TestbedPipeline.ingest_raw_stream`)
+while the workers compute; ``collect`` blocks for the replies, merges,
+and returns the detections.  Tickets collect in submission (FIFO)
+order.
+
+**Crash propagation.**  A detector exception inside a worker does not
+kill the worker loop: the worker catches it and replies
+``("error", formatted_traceback)``; the parent drains the remaining
+shards' replies for that batch (so the pool is never left with unread
+replies) and re-raises a typed :class:`ShardWorkerError` naming the
+shard and carrying the worker-side traceback.  The serial backend
+wraps detector exceptions the same way, so both backends surface the
+same typed error.  Either way the pool stays drivable afterwards --
+the failing sub-batch is applied up to the poisoned alert on that
+shard -- and ``close()`` shuts down cleanly.
 
 Detections from all shards are merged back into the position order of
 the input stream (equal to timestamp order for the time-sorted batches
@@ -35,19 +60,40 @@ an unsharded detector consuming the same batch.
 
 from __future__ import annotations
 
+import collections
 import copy
 import dataclasses
 import multiprocessing
 import time
+import traceback
 import zlib
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.alerts import Alert
+from ..core.alerts import Alert, pack_alert_columns, unpack_alert_columns
 from ..core.attack_tagger import Detection
 from ..core.detector import Detector
 
 #: Supported execution backends.
 BACKENDS = ("serial", "process")
+
+
+class ShardWorkerError(RuntimeError):
+    """A detector raised inside a shard.
+
+    Carries the shard index and the formatted traceback of the
+    original exception (for the process backend, captured inside the
+    worker; the raw traceback object cannot cross the pipe).  The pool
+    itself remains drivable: the failing shard applied its sub-batch
+    up to the offending alert and its worker loop keeps serving
+    commands.
+    """
+
+    def __init__(self, shard: int, worker_traceback: str) -> None:
+        self.shard = shard
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            f"detector raised in shard {shard}:\n{worker_traceback}"
+        )
 
 
 def shard_of(entity: str, n_shards: int) -> int:
@@ -96,36 +142,50 @@ def _shard_worker_main(factory, connection) -> None:
     """Worker loop of one process shard: owns a detector replica.
 
     Commands arrive as ``(verb, payload)`` tuples; every command is
-    answered with exactly one reply so the parent can run a simple
-    send-all / receive-all round per batch.  ``observe`` replies with
-    ``(hits, busy_seconds)`` where ``hits`` are ``(position, detection)``
-    pairs indexed into the received sub-batch and ``busy_seconds`` is
-    the CPU time the observe loop consumed (used by the sharding
-    benchmark's critical-path metric).
+    answered with exactly one status-tagged reply -- ``("ok", result)``
+    or ``("error", formatted_traceback)`` -- so the parent can run a
+    simple send-all / receive-all round per batch and a detector
+    exception can never wedge the parent or lose its traceback.
+    ``observe`` receives a columnar sub-batch
+    (:func:`repro.core.alerts.pack_alert_columns`) and replies with
+    ``(hits, busy_seconds)`` where ``hits`` are ``(position,
+    detection)`` pairs indexed into the sub-batch and ``busy_seconds``
+    is the CPU time the unpack+observe loop consumed (used by the
+    sharding benchmark's critical-path metric).
     """
-    detector = factory()
     try:
+        failure: Optional[str] = None
+        try:
+            detector = factory()
+        except Exception:  # factory crash: report it per-command, not EOF
+            detector, failure = None, traceback.format_exc()
         while True:
             command, payload = connection.recv()
-            if command == "observe":
-                started = time.process_time()
-                hits: List[Tuple[int, Detection]] = []
-                for position, alert in enumerate(payload):
-                    detection = detector.observe(alert)
-                    if detection is not None:
-                        hits.append((position, detection))
-                connection.send((hits, time.process_time() - started))
-            elif command == "reset_entity":
-                detector.reset_entity(payload)
-                connection.send(None)
-            elif command == "reset":
-                detector.reset()
-                connection.send(None)
-            elif command == "close":
-                connection.send(None)
+            if command == "close":
+                connection.send(("ok", None))
                 return
-            else:  # defensive: unknown verbs must not wedge the parent
-                connection.send(None)
+            if failure is not None:
+                connection.send(("error", failure))
+                continue
+            try:
+                if command == "observe":
+                    started = time.process_time()
+                    hits: List[Tuple[int, Detection]] = []
+                    for position, alert in enumerate(unpack_alert_columns(payload)):
+                        detection = detector.observe(alert)
+                        if detection is not None:
+                            hits.append((position, detection))
+                    connection.send(("ok", (hits, time.process_time() - started)))
+                elif command == "reset_entity":
+                    detector.reset_entity(payload)
+                    connection.send(("ok", None))
+                elif command == "reset":
+                    detector.reset()
+                    connection.send(("ok", None))
+                else:  # defensive: unknown verbs must not wedge the parent
+                    connection.send(("ok", None))
+            except Exception:
+                connection.send(("error", traceback.format_exc()))
     except (EOFError, KeyboardInterrupt):  # parent went away
         pass
 
@@ -133,7 +193,8 @@ def _shard_worker_main(factory, connection) -> None:
 class _ProcessShard:
     """Parent-side handle of one worker process."""
 
-    def __init__(self, factory: DetectorTemplate) -> None:
+    def __init__(self, index: int, factory: DetectorTemplate) -> None:
+        self.index = index
         context = multiprocessing.get_context()
         self.connection, child_connection = context.Pipe()
         self.process = context.Process(
@@ -144,11 +205,45 @@ class _ProcessShard:
         self.process.start()
         child_connection.close()
 
-    def send(self, command: str, payload=None) -> None:
-        self.connection.send((command, payload))
+    def send(self, command: str, payload=None) -> bool:
+        """Queue one command; returns whether it was actually delivered.
 
-    def receive(self):
-        return self.connection.recv()
+        If the worker process is gone the pipe write fails -- the
+        failure is swallowed (``False`` returned) so the caller's
+        send-all loop completes, and the matching :meth:`receive`
+        reports the death as an ``("error", ...)`` reply instead.
+        """
+        try:
+            self.connection.send((command, payload))
+            return True
+        except OSError:
+            # Only a *dead* worker may be swallowed -- its recv side
+            # reports the death.  A failed send to a live worker would
+            # otherwise hang the matching receive forever, so fail
+            # fast instead.
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                raise
+            return False
+
+    def receive(self) -> Tuple[str, object]:
+        """One status-tagged reply; a dead worker becomes an error reply.
+
+        Translating ``EOFError`` (worker process gone without replying,
+        e.g. killed or ``os._exit``) into an ``("error", ...)`` reply
+        here means every failure mode surfaces to callers as the same
+        typed :class:`ShardWorkerError` instead of a bare pipe error
+        with the root cause lost.
+        """
+        try:
+            return self.connection.recv()
+        except (EOFError, OSError):
+            self.process.join(timeout=1.0)
+            return (
+                "error",
+                f"shard worker process died without replying "
+                f"(exitcode {self.process.exitcode})",
+            )
 
     def close(self) -> None:
         try:
@@ -162,6 +257,30 @@ class _ProcessShard:
             self.connection.close()
             if self.process.is_alive():  # pragma: no cover - defensive
                 self.process.terminate()
+
+
+class _PendingBatch:
+    """Ticket for one submitted batch awaiting :meth:`~ShardedDetectorPool.collect`.
+
+    For the process backend the ticket remembers which shards were sent
+    a sub-batch (``active``) and each routed alert's position in the
+    original batch; the hits arrive at collect time.  The serial
+    backend computes eagerly at submit time, so the ticket already
+    holds the hits (or the wrapped error) and collect just finishes the
+    merge.
+    """
+
+    __slots__ = ("positions", "active", "hits", "error")
+
+    def __init__(
+        self,
+        positions: List[List[int]],
+        active: List[int],
+    ) -> None:
+        self.positions = positions
+        self.active = active
+        self.hits: List[Tuple[int, Detection]] = []
+        self.error: Optional[ShardWorkerError] = None
 
 
 class ShardedDetectorPool:
@@ -210,12 +329,14 @@ class ShardedDetectorPool:
         self.busy_seconds: List[float] = [0.0] * self.n_shards
         self.shards: List[Detector] = []
         self._workers: List[_ProcessShard] = []
+        self._pending: Deque[_PendingBatch] = collections.deque()
         self._closed = False
         if backend == "serial":
             self.shards = [detector_factory() for _ in range(self.n_shards)]
         else:
             self._workers = [
-                _ProcessShard(detector_factory) for _ in range(self.n_shards)
+                _ProcessShard(shard, detector_factory)
+                for shard in range(self.n_shards)
             ]
 
     @classmethod
@@ -283,82 +404,221 @@ class ShardedDetectorPool:
     def observe_batch(self, alerts: Iterable[Alert]) -> list[Detection]:
         """Fan one batch out across the shards and merge the detections.
 
-        Detections come back tagged with their triggering alert's
-        position in the batch and are merged in that order -- exactly
-        the emission order of an unsharded detector scanning the batch
-        front to back (and timestamp order for time-sorted batches).
+        Sugar for :meth:`collect` over :meth:`submit_batch`: the batch
+        is shipped to the workers and the caller blocks for the merged
+        result.  Detections come back tagged with their triggering
+        alert's position in the batch and are merged in that order --
+        exactly the emission order of an unsharded detector scanning
+        the batch front to back (and timestamp order for time-sorted
+        batches).
+
+        Refuses to run while submitted batches are pending collection:
+        interleaving the blocking wrapper with the two-phase API would
+        otherwise ship the batch to the workers and *then* fail in
+        ``collect`` (out-of-order ticket), double-applying the batch if
+        the caller retries.
         """
-        batch = list(alerts)
-        if not batch:
-            return []
+        self._require_idle("observe_batch")
+        return self.collect(self.submit_batch(alerts))
+
+    # -- non-blocking fan-out ----------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` shut this (process) pool down."""
+        return self._closed
+
+    @property
+    def pending_batches(self) -> int:
+        """Submitted batches not yet collected."""
+        return len(self._pending)
+
+    def submit_batch(self, alerts: Iterable[Alert]) -> _PendingBatch:
+        """Ship one batch to the shards without waiting for the results.
+
+        Returns a ticket for :meth:`collect`.  With the process backend
+        the sub-batches are pickled (columnar) onto the worker pipes
+        and the call returns immediately, so the caller can overlap
+        other work with the workers' compute.  The serial backend has
+        nobody to overlap with and computes eagerly here; a detector
+        exception is captured in the ticket and raised at collect time,
+        mirroring the process backend's semantics.  Tickets must be
+        collected in submission order.
+
+        .. note:: "Non-blocking" is bounded by OS pipe capacity
+           (typically ~64 KiB): a send larger than the worker can
+           buffer blocks until the worker drains it, so keeping *many*
+           large batches in flight can stall the submit (and, if the
+           workers are simultaneously blocked sending large replies,
+           deadlock).  The overlapped pipeline driver keeps exactly
+           one batch in flight, which is always safe.
+        """
         if self._closed:
             raise RuntimeError("ShardedDetectorPool is closed")
+        batch = list(alerts)
         sub_batches, positions = self._partition(batch)
-        for shard, sub_batch in enumerate(sub_batches):
-            self.alerts_routed[shard] += len(sub_batch)
-        hits: List[Tuple[int, Detection]] = []
-        if self.backend == "serial":
-            for shard, sub_batch in enumerate(sub_batches):
-                if not sub_batch:
-                    continue
+        active = [shard for shard, sub_batch in enumerate(sub_batches) if sub_batch]
+        ticket = _PendingBatch(positions, active)
+        if self.backend == "process":
+            # Send everything first so all workers compute concurrently.
+            # `alerts_routed` counts a shard only once its sub-batch is
+            # actually on the pipe, so the telemetry stays truthful if
+            # the send loop fails part-way.
+            sent: List[int] = []
+            try:
+                for shard in active:
+                    delivered = self._workers[shard].send(
+                        "observe", pack_alert_columns(sub_batches[shard])
+                    )
+                    sent.append(shard)
+                    if delivered:
+                        self.alerts_routed[shard] += len(sub_batches[shard])
+            except Exception:
+                # A failure part-way through the send loop (e.g. an
+                # unpicklable alert attribute) must not leave the
+                # already-sent shards with unread replies for the next
+                # collect() to mistake for its own batch: drain them
+                # here (keeping the busy telemetry the workers report),
+                # then surface the original error.
+                for shard in sent:
+                    status, payload = self._workers[shard].receive()
+                    if status == "ok":
+                        self.busy_seconds[shard] += payload[1]
+                raise
+        else:
+            for shard in active:
+                self.alerts_routed[shard] += len(sub_batches[shard])
                 started = time.perf_counter()
                 detector = self.shards[shard]
-                for local, alert in enumerate(sub_batch):
-                    detection = detector.observe(alert)
-                    if detection is not None:
-                        hits.append((positions[shard][local], detection))
-                self.busy_seconds[shard] += time.perf_counter() - started
-        else:
-            active = [
-                shard for shard, sub_batch in enumerate(sub_batches) if sub_batch
-            ]
-            # Send everything first so all workers compute concurrently.
-            for shard in active:
-                self._workers[shard].send("observe", sub_batches[shard])
-            for shard in active:
-                shard_hits, busy = self._workers[shard].receive()
+                try:
+                    for local, alert in enumerate(sub_batches[shard]):
+                        detection = detector.observe(alert)
+                        if detection is not None:
+                            ticket.hits.append((positions[shard][local], detection))
+                except Exception as exc:
+                    if ticket.error is None:
+                        ticket.error = ShardWorkerError(
+                            shard, traceback.format_exc()
+                        )
+                        ticket.error.__cause__ = exc
+                finally:
+                    self.busy_seconds[shard] += time.perf_counter() - started
+        self._pending.append(ticket)
+        return ticket
+
+    def collect(self, ticket: Optional[_PendingBatch] = None) -> list[Detection]:
+        """Wait for one submitted batch and merge its detections.
+
+        Collects the oldest uncollected ticket (replies come back in
+        FIFO order per worker pipe, so collection must follow
+        submission order; passing a newer ticket raises
+        ``ValueError``).  If any shard reports an error, the remaining
+        shards' replies for this batch are still drained -- the pool is
+        never left with unread replies -- and a
+        :class:`ShardWorkerError` for the first failing shard is
+        raised; the batch's partial detections are discarded.
+        """
+        if self._closed:
+            raise RuntimeError("ShardedDetectorPool is closed")
+        if not self._pending:
+            raise RuntimeError("no submitted batch to collect")
+        if ticket is not None and ticket is not self._pending[0]:
+            raise ValueError("batches must be collected in submission order")
+        ticket = self._pending.popleft()
+        if self.backend == "process":
+            for shard in ticket.active:
+                status, payload = self._workers[shard].receive()
+                if status == "error":
+                    if ticket.error is None:
+                        ticket.error = ShardWorkerError(shard, str(payload))
+                    continue
+                shard_hits, busy = payload
                 self.busy_seconds[shard] += busy
-                hits.extend(
-                    (positions[shard][local], detection)
+                ticket.hits.extend(
+                    (ticket.positions[shard][local], detection)
                     for local, detection in shard_hits
                 )
-        hits.sort(key=lambda item: item[0])
-        merged = [detection for _, detection in hits]
+        if ticket.error is not None:
+            raise ticket.error
+        ticket.hits.sort(key=lambda item: item[0])
+        merged = [detection for _, detection in ticket.hits]
         self._detections.extend(merged)
         return merged
 
+    def _drain_pending(self) -> None:
+        """Read every outstanding reply, discarding results and errors."""
+        while self._pending:
+            ticket = self._pending.popleft()
+            if self.backend == "process":
+                for shard in ticket.active:
+                    self._workers[shard].receive()
+
+    def _require_idle(self, operation: str) -> None:
+        if self._closed:
+            raise RuntimeError("ShardedDetectorPool is closed")
+        if self._pending:
+            raise RuntimeError(
+                f"cannot {operation} with {len(self._pending)} submitted "
+                "batch(es) pending; collect() them first"
+            )
+
     def reset(self) -> None:
         """Forget all shard state and past detections."""
+        self._require_idle("reset")
         self._detections.clear()
         self.alerts_routed = [0] * self.n_shards
         self.busy_seconds = [0.0] * self.n_shards
+        error: Optional[ShardWorkerError] = None
         if self.backend == "serial":
-            for detector in self.shards:
-                detector.reset()
+            # Drive every shard even if one fails, mirroring the
+            # process backend (which always receives all replies), and
+            # wrap the first failure in the same typed error.
+            for shard, detector in enumerate(self.shards):
+                try:
+                    detector.reset()
+                except Exception as exc:
+                    if error is None:
+                        error = ShardWorkerError(shard, traceback.format_exc())
+                        error.__cause__ = exc
         else:
             for worker in self._workers:
                 worker.send("reset")
             for worker in self._workers:
-                worker.receive()
+                status, payload = worker.receive()
+                if status == "error" and error is None:
+                    error = ShardWorkerError(worker.index, str(payload))
+        if error is not None:
+            raise error
 
     def reset_entity(self, entity: str) -> None:
         """Forget one entity on the shard that owns it."""
+        self._require_idle("reset_entity")
         shard = self.shard_of(entity)
         if self.backend == "serial":
-            self.shards[shard].reset_entity(entity)
+            try:
+                self.shards[shard].reset_entity(entity)
+            except Exception as exc:
+                error = ShardWorkerError(shard, traceback.format_exc())
+                error.__cause__ = exc
+                raise error
         else:
             self._workers[shard].send("reset_entity", entity)
-            self._workers[shard].receive()
+            status, payload = self._workers[shard].receive()
+            if status == "error":
+                raise ShardWorkerError(shard, str(payload))
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         """Shut down worker processes (idempotent).
 
         Serial pools are a true no-op: they have no workers and remain
-        usable.  A closed *process* pool rejects further batches.
+        usable.  A closed *process* pool rejects further batches.  Any
+        still-uncollected submitted batches are drained (their results
+        discarded) so the shutdown handshake never races a pending
+        reply.
         """
         if self.backend != "process" or self._closed:
             return
+        self._drain_pending()
         self._closed = True
         for worker in self._workers:
             worker.close()
@@ -381,5 +641,6 @@ __all__ = [
     "BACKENDS",
     "DetectorTemplate",
     "ShardedDetectorPool",
+    "ShardWorkerError",
     "shard_of",
 ]

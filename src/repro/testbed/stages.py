@@ -30,7 +30,8 @@ thin facade on top.
 
 from __future__ import annotations
 
-from typing import Dict, List, Protocol, Sequence, Tuple, runtime_checkable
+import collections
+from typing import Deque, Dict, List, Protocol, Sequence, Tuple, runtime_checkable
 
 from ..core.alerts import Alert
 from ..core.attack_tagger import Detection
@@ -72,16 +73,90 @@ class DetectionStage:
         self.pools = pools
         self.primary = primary
         self.sink = sink
+        self._inflight: Deque[Dict[str, object]] = collections.deque()
 
-    def process(self, batch: Sequence[Alert]) -> list[Detection]:
-        """Scan one filtered batch; return the primary pool's detections."""
-        primary_detections: list[Detection] = []
+    @property
+    def pending_batches(self) -> int:
+        """Submitted batches not yet collected."""
+        return len(self._inflight)
+
+    def submit(self, batch: Sequence[Alert]) -> None:
+        """Ship one filtered batch to every pool without waiting.
+
+        The process-backed pools' workers start computing immediately;
+        the caller can overlap other work (normalising and filtering
+        the next batch) before calling :meth:`collect`.  If a pool
+        rejects the submission (e.g. it was closed), the partially
+        submitted batch is still queued (pools that never received it
+        are simply absent from the ticket) so a later :meth:`collect`
+        drains the already-shipped sub-batches in FIFO order -- no
+        pool is ever left with unread replies.
+        """
+        # Deterministic rejections must fire before *any* pool receives
+        # the batch: a failure after the first send irreversibly
+        # advances that pool's detector state, so a caller retry would
+        # double-apply the batch there.
         for name, pool in self.pools.items():
-            found = pool.observe_batch(batch)
+            if pool.closed:
+                raise RuntimeError(
+                    f"detector pool {name!r}: ShardedDetectorPool is closed"
+                )
+        batch = list(batch)
+        tickets: Dict[str, object] = {}
+        try:
+            for name, pool in self.pools.items():
+                tickets[name] = pool.submit_batch(batch)
+        except Exception:
+            if tickets:
+                self._inflight.append(tickets)
+            raise
+        self._inflight.append(tickets)
+
+    def collect(self) -> list[Detection]:
+        """Wait for the oldest submitted batch; return primary detections.
+
+        Every pool's ticket is collected even if one of them raises (so
+        no pool is left with unread replies); the first error is
+        re-raised afterwards.  Pools without a ticket (their submit
+        failed) are skipped.
+        """
+        if not self._inflight:
+            raise RuntimeError("no submitted batch to collect")
+        tickets = self._inflight.popleft()
+        primary_detections: list[Detection] = []
+        error: Exception | None = None
+        for name, pool in self.pools.items():
+            ticket = tickets.get(name)
+            if ticket is None:
+                continue
+            try:
+                found = pool.collect(ticket)
+            except Exception as exc:
+                if error is None:
+                    error = exc
+                continue
             self.sink.extend((name, detection) for detection in found)
             if name == self.primary:
                 primary_detections = found
+        if error is not None:
+            raise error
         return primary_detections
+
+    def process(self, batch: Sequence[Alert]) -> list[Detection]:
+        """Scan one filtered batch; return the primary pool's detections.
+
+        Refuses to run while a submitted batch is pending collection:
+        ``collect`` pops the *oldest* ticket, so interleaving the
+        blocking wrapper with submit/collect would silently return the
+        in-flight batch's detections as this batch's.
+        """
+        if self._inflight:
+            raise RuntimeError(
+                "cannot process() with submitted batch(es) pending; "
+                "collect() them first"
+            )
+        self.submit(batch)
+        return self.collect()
 
 
 class ResponseStage:

@@ -1,0 +1,324 @@
+"""Overlapped-driver equivalence suite and pending-raw semantics.
+
+The pipeline's overlapped (double-buffered) drivers
+(:meth:`TestbedPipeline.ingest_raw_stream` /
+:meth:`TestbedPipeline.ingest_alert_batches`) normalise and filter
+batch N+1 while the detection stage's shard workers hold batch N.  No
+stage feeds state back into an earlier one, so the overlapped schedule
+must be *bit-identical* to the batch-synchronous reference: same
+detections (every field), same response records, same stats counters
+-- for both sharding backends, at several shard counts (plus the
+``REPRO_SHARDS`` CI matrix value).
+
+This module also pins the pending-raw mixing fix: records published
+directly onto the mirror are drained by the *next* ingestion call of
+either kind, not silently folded into a later ``ingest_raw`` batch.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import AttackTagger
+from repro.core.alerts import Alert
+from repro.incidents import DEFAULT_CATALOGUE
+from repro.telemetry import SyslogMonitor
+from repro.testbed import (
+    DetectionStage,
+    ShardedDetectorPool,
+    ShardWorkerError,
+    TestbedPipeline,
+)
+
+from test_sharding import COUNTER_KEYS, PoisonDetector, build_mixed_stream
+
+#: Extra shard count injected by the CI matrix (REPRO_SHARDS={1,4}).
+EXTRA_SHARDS = int(os.environ.get("REPRO_SHARDS", "1"))
+SHARD_COUNTS = sorted({1, 2, 4, EXTRA_SHARDS})
+
+
+def fresh_pipeline(n_shards: int, backend: str) -> TestbedPipeline:
+    return TestbedPipeline(
+        detectors={"factor_graph": AttackTagger(patterns=list(DEFAULT_CATALOGUE))},
+        n_shards=n_shards,
+        shard_backend=backend,
+    )
+
+
+def split_batches(stream: list, n_batches: int) -> list[list]:
+    bounds = np.linspace(0, len(stream), n_batches + 1).astype(int)
+    return [stream[start:stop] for start, stop in zip(bounds[:-1], bounds[1:])]
+
+
+def run_batch_synchronous(batches, *, n_shards: int, backend: str):
+    """The reference: one blocking ``ingest_alerts`` call per batch."""
+    with fresh_pipeline(n_shards, backend) as pipeline:
+        detections = []
+        for batch in batches:
+            detections.extend(pipeline.ingest_alerts(batch))
+        return (
+            detections,
+            pipeline.summary(),
+            list(pipeline.detections),
+            list(pipeline.responder.notifications),
+            list(pipeline.responder.actions),
+        )
+
+
+def run_overlapped(batches, *, n_shards: int, backend: str):
+    with fresh_pipeline(n_shards, backend) as pipeline:
+        detections = pipeline.ingest_alert_batches(batches)
+        return (
+            detections,
+            pipeline.summary(),
+            list(pipeline.detections),
+            list(pipeline.responder.notifications),
+            list(pipeline.responder.actions),
+        )
+
+
+@pytest.fixture(scope="module")
+def mixed_batches():
+    """Randomized multi-entity attack/benign stream, split into 6 batches."""
+    return split_batches(
+        build_mixed_stream(seed=31, n_entities=80, length=4_000), 6
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(mixed_batches):
+    """Unsharded batch-synchronous reference run."""
+    return run_batch_synchronous(mixed_batches, n_shards=1, backend="serial")
+
+
+class TestOverlapEquivalence:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_overlapped_driver_is_bit_identical(
+        self, mixed_batches, baseline, n_shards, backend
+    ):
+        base_detections, base_summary, base_log, base_notes, base_records = baseline
+        detections, summary, log, notes, records = run_overlapped(
+            mixed_batches, n_shards=n_shards, backend=backend
+        )
+        assert detections, "the mixed stream must produce detections"
+        assert detections == base_detections
+        assert log == base_log
+        # Response path: same notifications and same response records.
+        assert notes == base_notes
+        assert records == base_records
+        for key in COUNTER_KEYS:
+            assert summary[key] == base_summary[key], key
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_overlap_matches_batch_sync_at_same_shard_count(
+        self, mixed_batches, backend
+    ):
+        """Sharded sync vs sharded overlapped: identical, per config."""
+        sync = run_batch_synchronous(mixed_batches, n_shards=2, backend=backend)
+        overlapped = run_overlapped(mixed_batches, n_shards=2, backend=backend)
+        assert overlapped[0] == sync[0]
+        assert overlapped[2:] == sync[2:]
+        for key in COUNTER_KEYS:
+            assert overlapped[1][key] == sync[1][key], key
+
+    def test_raw_stream_driver_matches_ingest_raw(self):
+        """Overlapped raw-record driver == looped ``ingest_raw``."""
+
+        def raw_batches():
+            monitor = SyslogMonitor("internal-host")
+            for index in range(120):
+                monitor.sshd_accepted(
+                    float(index), f"user{index % 9}", f"10.0.0.{index % 17}"
+                )
+                if index % 5 == 0:
+                    monitor.wget_download(
+                        float(index) + 0.5,
+                        f"user{index % 9}",
+                        "http://64.215.33.18/abs.c",
+                    )
+            return split_batches(monitor.records, 5)
+
+        with fresh_pipeline(2, "process") as sync:
+            sync_detections = []
+            for batch in raw_batches():
+                sync_detections.extend(sync.ingest_raw(batch))
+            sync_summary = sync.summary()
+        with fresh_pipeline(2, "process") as overlapped:
+            detections = overlapped.ingest_raw_stream(raw_batches())
+            summary = overlapped.summary()
+        assert detections == sync_detections
+        for key in COUNTER_KEYS:
+            assert summary[key] == sync_summary[key], key
+        assert summary["raw_records"] > 0
+        assert summary["normalized_alerts"] > 0
+
+    def test_overlapped_driver_keeps_per_stage_timing(self, mixed_batches):
+        with fresh_pipeline(2, "process") as pipeline:
+            pipeline.ingest_alert_batches(mixed_batches)
+            stats = pipeline.stats
+        assert set(stats.stage_seconds) >= {"filter", "detect", "respond"}
+        assert stats.detection_seconds == stats.stage_seconds["detect"]
+        assert stats.detection_seconds > 0.0
+        assert stats.response_seconds == stats.stage_seconds["respond"]
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_empty_and_single_batch_streams(self, backend):
+        with fresh_pipeline(2, backend) as pipeline:
+            assert pipeline.ingest_alert_batches([]) == []
+            batch = build_mixed_stream(seed=2, n_entities=6, length=60)
+            sync = run_batch_synchronous([batch], n_shards=2, backend=backend)
+            assert pipeline.ingest_alert_batches([batch]) == sync[0]
+
+
+class TestOverlapFailureRecovery:
+    """Failures mid-stream must not leave stale batches in flight."""
+
+    def test_prep_exception_does_not_leak_inflight_batch(self):
+        stream = build_mixed_stream(seed=41, n_entities=20, length=600)
+        batch1, batch2 = stream[:300], stream[300:]
+        with fresh_pipeline(2, "process") as reference:
+            ref_d1 = reference.ingest_alerts(batch1)
+            ref_d2 = reference.ingest_alerts(batch2)
+            ref_log = list(reference.detections)
+            ref_summary = reference.summary()
+
+        with fresh_pipeline(2, "process") as pipeline:
+            def poisoned_source():
+                yield batch1
+                raise RuntimeError("record source failed")
+
+            with pytest.raises(RuntimeError, match="record source failed"):
+                pipeline.ingest_alert_batches(poisoned_source())
+            # Batch 1 was submitted before the source died; the unwind
+            # must have finished it rather than leaving its ticket in
+            # flight for the next call to mistake for its own.
+            assert pipeline.detection_stage.pending_batches == 0
+            assert pipeline.stats.detections == len(ref_d1)
+            resumed = pipeline.ingest_alerts(batch2)
+            assert resumed == ref_d2, "stale ticket returned for a later batch"
+            assert list(pipeline.detections) == ref_log
+            summary = pipeline.summary()
+        for key in COUNTER_KEYS:
+            assert summary[key] == ref_summary[key], key
+
+    def test_shard_crash_mid_stream_surfaces_typed_error(self):
+        clean = [Alert(float(i), "alert_port_scan", f"host:p{i}") for i in range(40)]
+        poisoned = clean[:20] + [Alert(20.5, "alert_outbound_c2", "host:poison")]
+        pipeline = TestbedPipeline(
+            detectors={"factor_graph": PoisonDetector()},
+            n_shards=2,
+            shard_backend="process",
+        )
+        with pipeline:
+            with pytest.raises(ShardWorkerError) as excinfo:
+                pipeline.ingest_alert_batches([clean[:10], poisoned, clean[25:]])
+            assert "poisoned alert" in excinfo.value.worker_traceback
+            assert pipeline.detection_stage.pending_batches == 0
+            # Still drivable after the crash.
+            assert pipeline.ingest_alerts(clean[30:]) == []
+        # close() (context exit) completed cleanly.
+
+    def test_stage_collect_without_submit_raises_runtime_error(self):
+        pool = ShardedDetectorPool.from_template(AttackTagger(), n_shards=2)
+        stage = DetectionStage({"alpha": pool}, "alpha", sink=[])
+        with pytest.raises(RuntimeError, match="no submitted batch"):
+            stage.collect()
+
+    def test_stage_process_with_pending_batch_raises(self):
+        pool = ShardedDetectorPool.from_template(AttackTagger(), n_shards=2)
+        stage = DetectionStage({"alpha": pool}, "alpha", sink=[])
+        alerts = [Alert(float(i), "alert_port_scan", f"host:p{i}") for i in range(6)]
+        stage.submit(alerts)
+        # process() = submit + collect-oldest: with a batch already in
+        # flight it would silently return that batch's detections.
+        with pytest.raises(RuntimeError, match="pending"):
+            stage.process(alerts)
+        stage.collect()
+        assert stage.process(alerts) == []
+
+    def test_sync_path_partial_submit_failure_drains_inflight(self):
+        pipeline = TestbedPipeline(
+            detectors={
+                "alpha": AttackTagger(patterns=list(DEFAULT_CATALOGUE)),
+                "beta": AttackTagger(patterns=list(DEFAULT_CATALOGUE)),
+            },
+            primary_detector="alpha",
+            n_shards=2,
+            shard_backend="process",
+        )
+        batch = [Alert(float(i), "alert_port_scan", f"host:p{i}") for i in range(8)]
+        with pipeline:
+            pipeline.detector_pools["beta"].close()
+            for _ in range(2):  # repeated failures must not accumulate tickets
+                with pytest.raises(RuntimeError, match="closed"):
+                    pipeline.ingest_alerts(batch)
+                assert pipeline.detection_stage.pending_batches == 0
+                assert pipeline.detector_pools["alpha"].pending_batches == 0
+
+    def test_closed_pool_is_rejected_before_any_pool_receives_the_batch(self):
+        pools = {
+            name: ShardedDetectorPool.from_template(
+                AttackTagger(patterns=list(DEFAULT_CATALOGUE)),
+                n_shards=2,
+                backend="process",
+            )
+            for name in ("alpha", "beta")
+        }
+        stage = DetectionStage(pools, "alpha", sink=[])
+        pools["beta"].close()
+        alerts = [Alert(float(i), "alert_port_scan", f"host:p{i}") for i in range(8)]
+        with pytest.raises(RuntimeError, match="beta.*closed"):
+            stage.submit(alerts)
+        # The deterministic rejection fired before any pool received
+        # the batch, so a caller retry cannot double-apply it to alpha.
+        assert stage.pending_batches == 0
+        assert pools["alpha"].pending_batches == 0
+        assert pools["alpha"].alerts_routed == [0, 0]
+        pools["alpha"].close()
+
+
+class TestPendingRawDrain:
+    """Directly mirrored records are drained by the next ingestion call."""
+
+    def _record(self, timestamp: float = 10.0):
+        monitor = SyslogMonitor("internal-host")
+        monitor.wget_download(timestamp, "alice", "http://64.215.33.18/abs.c")
+        return monitor.records[0]
+
+    def test_ingest_alerts_drains_pending_raw(self):
+        pipeline = TestbedPipeline()
+        pipeline.mirror.publish_raw(self._record())
+        assert pipeline._pending_raw, "record should be pending before ingestion"
+        pipeline.ingest_alerts([])
+        assert not pipeline._pending_raw
+        # The directly-published record was processed and counted now.
+        assert pipeline.stats.raw_records == 1
+        assert pipeline.stats.normalized_alerts == 1
+
+    def test_ingest_raw_attributes_pending_to_the_draining_call(self):
+        pipeline = TestbedPipeline()
+        pipeline.mirror.publish_raw(self._record(10.0))
+        before = pipeline.stats.raw_records
+        assert before == 0
+        pipeline.ingest_raw([self._record(20.0)])
+        # Both the pending record and the new one were processed by
+        # this call (as separate batches), not deferred.
+        assert pipeline.stats.raw_records == 2
+        assert not pipeline._pending_raw
+
+    def test_overlapped_drivers_drain_pending_raw(self):
+        pipeline = TestbedPipeline()
+        pipeline.mirror.publish_raw(self._record())
+        pipeline.ingest_alert_batches([])
+        assert not pipeline._pending_raw
+        assert pipeline.stats.raw_records == 1
+
+        pipeline = TestbedPipeline()
+        pipeline.mirror.publish_raw(self._record())
+        pipeline.ingest_raw_stream([])
+        assert not pipeline._pending_raw
+        assert pipeline.stats.raw_records == 1

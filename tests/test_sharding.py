@@ -28,7 +28,12 @@ from repro.core import (
 from repro.core.alerts import Alert, DEFAULT_VOCABULARY
 from repro.core.states import AttackStage
 from repro.incidents import DEFAULT_CATALOGUE
-from repro.testbed import ShardedDetectorPool, TestbedPipeline, shard_of
+from repro.testbed import (
+    ShardedDetectorPool,
+    ShardWorkerError,
+    TestbedPipeline,
+    shard_of,
+)
 
 #: Extra shard count injected by the CI matrix (REPRO_SHARDS={1,4}).
 EXTRA_SHARDS = int(os.environ.get("REPRO_SHARDS", "1"))
@@ -275,6 +280,292 @@ class TestDetectorProtocol:
         ]
         for detector in detectors:
             assert isinstance(detector, Detector), type(detector).__name__
+
+
+class PoisonDetector:
+    """Protocol-satisfying detector that raises on a chosen alert name.
+
+    Module-level (hence picklable) so the process backend can clone it
+    into worker processes; used to assert crash propagation semantics.
+    """
+
+    def __init__(self, poison_name: str = "alert_outbound_c2") -> None:
+        self.poison_name = poison_name
+        self._detections: list = []
+        self.observed = 0
+
+    @property
+    def detections(self) -> list:
+        return list(self._detections)
+
+    def observe(self, alert):
+        if alert.name == self.poison_name:
+            raise ValueError(f"poisoned alert: {alert.name}")
+        self.observed += 1
+        return None
+
+    def observe_batch(self, alerts):
+        found = []
+        for alert in alerts:
+            detection = self.observe(alert)
+            if detection is not None:
+                found.append(detection)
+        return found
+
+    def reset(self) -> None:
+        self.observed = 0
+        self._detections.clear()
+
+    def reset_entity(self, entity: str) -> None:
+        pass
+
+    def clone(self) -> "PoisonDetector":
+        return PoisonDetector(self.poison_name)
+
+
+def _exploding_factory():
+    """Module-level (picklable) detector factory that always fails."""
+    raise RuntimeError("factory exploded")
+
+
+class BrokenResetDetector(PoisonDetector):
+    """Observes fine, but every reset path raises."""
+
+    def reset(self) -> None:
+        raise ValueError("reset failed")
+
+    def reset_entity(self, entity: str) -> None:
+        raise ValueError("reset_entity failed")
+
+    def clone(self) -> "BrokenResetDetector":
+        return BrokenResetDetector(self.poison_name)
+
+
+def _benign_alerts(count: int = 24, *, entities: int = 7) -> list[Alert]:
+    return [
+        Alert(float(i), "alert_port_scan", f"host:h{i % entities}")
+        for i in range(count)
+    ]
+
+
+class TestWorkerCrashPropagation:
+    """A detector exception in a shard surfaces as a typed error."""
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_poisoned_batch_raises_typed_error_with_traceback(self, backend):
+        clean = _benign_alerts()
+        poisoned = clean[:12] + [Alert(99.0, "alert_outbound_c2", "host:h3")] + clean[12:]
+        with ShardedDetectorPool(PoisonDetector, n_shards=3, backend=backend) as pool:
+            with pytest.raises(ShardWorkerError) as excinfo:
+                pool.observe_batch(poisoned)
+            error = excinfo.value
+            # The typed error names the shard and carries the worker
+            # traceback (root cause preserved across the pipe).
+            assert error.shard == shard_of("host:h3", 3)
+            assert "ValueError: poisoned alert: alert_outbound_c2" in error.worker_traceback
+            assert f"shard {error.shard}" in str(error)
+            # No unread replies: the pool stays consistent and drivable.
+            assert pool.pending_batches == 0
+            assert pool.observe_batch(clean) == []
+            assert pool.detections == []
+        # close() (via the context manager) completed cleanly.
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_failed_batch_detections_are_discarded(self, backend):
+        poisoned = [Alert(0.0, "alert_outbound_c2", "host:h0")]
+        with ShardedDetectorPool(PoisonDetector, n_shards=2, backend=backend) as pool:
+            with pytest.raises(ShardWorkerError):
+                pool.observe_batch(poisoned)
+            assert pool.detections == []
+
+    def test_dead_worker_surfaces_as_typed_error_not_eoferror(self):
+        pool = ShardedDetectorPool(PoisonDetector, n_shards=2, backend="process")
+        try:
+            # Kill one worker out from under the pool: the parent must
+            # report a typed error naming the shard, not a bare EOFError.
+            victim = pool._workers[0]
+            victim.process.terminate()
+            victim.process.join(timeout=5.0)
+            alerts = _benign_alerts(16, entities=8)  # hits both shards
+            routed_before = list(pool.alerts_routed)
+            with pytest.raises(ShardWorkerError) as excinfo:
+                pool.observe_batch(alerts)
+            assert excinfo.value.shard == 0
+            assert "died without replying" in excinfo.value.worker_traceback
+            assert pool.pending_batches == 0
+            # The dead shard's sub-batch never left the parent, so it
+            # is not counted as routed; the live shard's is.
+            assert pool.alerts_routed[0] == routed_before[0]
+            assert pool.alerts_routed[1] > routed_before[1]
+        finally:
+            pool.close()
+
+    def test_unpicklable_alert_mid_submit_leaves_pool_consistent(self):
+        # Entities owned by shard 0 and shard 1 respectively, so the
+        # clean sub-batch is sent before the unpicklable one fails.
+        entity_for = {shard_of(f"host:h{i}", 2): f"host:h{i}" for i in range(8)}
+        batch = [
+            Alert(0.0, "alert_port_scan", entity_for[0]),
+            Alert(
+                1.0,
+                "alert_port_scan",
+                entity_for[1],
+                attributes={"callback": lambda: 1},  # defeats pickle
+            ),
+        ]
+        with ShardedDetectorPool(PoisonDetector, n_shards=2, backend="process") as pool:
+            with pytest.raises(Exception):
+                pool.submit_batch(batch)
+            # The already-sent shard's reply was drained: no stale
+            # replies, no phantom pending batch, pool still drivable.
+            assert pool.pending_batches == 0
+            # Telemetry stays truthful: only the shard whose sub-batch
+            # actually went out is counted as routed.
+            assert pool.alerts_routed == [1, 0]
+            assert pool.observe_batch(_benign_alerts(8)) == []
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_reset_failures_raise_the_same_typed_error_on_both_backends(self, backend):
+        with ShardedDetectorPool(BrokenResetDetector, n_shards=2, backend=backend) as pool:
+            with pytest.raises(ShardWorkerError) as excinfo:
+                pool.reset()
+            assert "ValueError: reset failed" in excinfo.value.worker_traceback
+            with pytest.raises(ShardWorkerError) as excinfo:
+                pool.reset_entity("host:h0")
+            assert "ValueError: reset_entity failed" in excinfo.value.worker_traceback
+            # Still drivable: observe never touches the broken paths.
+            assert pool.observe_batch(_benign_alerts(6)) == []
+
+    def test_factory_failure_is_reported_not_wedged(self):
+        pool = ShardedDetectorPool(_exploding_factory, n_shards=1, backend="process")
+        try:
+            with pytest.raises(ShardWorkerError) as excinfo:
+                pool.observe_batch(_benign_alerts(4))
+            assert "factory exploded" in excinfo.value.worker_traceback
+        finally:
+            pool.close()
+
+
+class TestClosedPoolLifecycle:
+    """Every operation on a closed process pool raises the same error."""
+
+    def _closed_pool(self) -> ShardedDetectorPool:
+        pool = ShardedDetectorPool.from_template(
+            AttackTagger(), n_shards=2, backend="process"
+        )
+        pool.close()
+        return pool
+
+    def test_closed_pool_rejects_reset(self):
+        with pytest.raises(RuntimeError, match="closed"):
+            self._closed_pool().reset()
+
+    def test_closed_pool_rejects_reset_entity(self):
+        with pytest.raises(RuntimeError, match="closed"):
+            self._closed_pool().reset_entity("user:eve")
+
+    def test_closed_pool_rejects_submit_and_collect(self):
+        pool = self._closed_pool()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit_batch(_benign_alerts(4))
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.collect()
+
+
+class TestNonBlockingFanOut:
+    """submit_batch()/collect() semantics shared by both backends."""
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_submit_collect_matches_observe_batch(self, backend):
+        stream = build_mixed_stream(seed=3, n_entities=24, length=600)
+        reference = ShardedDetectorPool.from_template(
+            AttackTagger(patterns=list(DEFAULT_CATALOGUE)), n_shards=3
+        )
+        expected = reference.observe_batch(stream)
+        with ShardedDetectorPool.from_template(
+            AttackTagger(patterns=list(DEFAULT_CATALOGUE)),
+            n_shards=3,
+            backend=backend,
+        ) as pool:
+            ticket = pool.submit_batch(stream)
+            assert pool.pending_batches == 1
+            found = pool.collect(ticket)
+            assert pool.pending_batches == 0
+        assert found == expected
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_multiple_batches_in_flight_collect_in_fifo_order(self, backend):
+        stream = build_mixed_stream(seed=9, n_entities=16, length=400)
+        batches = [stream[i : i + 100] for i in range(0, 400, 100)]
+        reference = ShardedDetectorPool.from_template(
+            AttackTagger(patterns=list(DEFAULT_CATALOGUE)), n_shards=2
+        )
+        expected = [reference.observe_batch(batch) for batch in batches]
+        with ShardedDetectorPool.from_template(
+            AttackTagger(patterns=list(DEFAULT_CATALOGUE)),
+            n_shards=2,
+            backend=backend,
+        ) as pool:
+            tickets = [pool.submit_batch(batch) for batch in batches]
+            assert pool.pending_batches == len(batches)
+            # Collecting a newer ticket before the oldest is an error.
+            with pytest.raises(ValueError, match="submission order"):
+                pool.collect(tickets[-1])
+            collected = [pool.collect(ticket) for ticket in tickets]
+        assert collected == expected
+        assert reference.detections == [d for found in expected for d in found]
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_collect_without_submit_raises(self, backend):
+        with ShardedDetectorPool.from_template(
+            AttackTagger(), n_shards=2, backend=backend
+        ) as pool:
+            with pytest.raises(RuntimeError, match="no submitted batch"):
+                pool.collect()
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_reset_with_pending_batches_raises(self, backend):
+        with ShardedDetectorPool.from_template(
+            AttackTagger(), n_shards=2, backend=backend
+        ) as pool:
+            pool.submit_batch(_benign_alerts(8))
+            with pytest.raises(RuntimeError, match="pending"):
+                pool.reset()
+            with pytest.raises(RuntimeError, match="pending"):
+                pool.reset_entity("host:h0")
+            pool.collect()  # drain so close() is exercised on an idle pool
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_observe_batch_with_pending_batches_raises_before_submitting(self, backend):
+        with ShardedDetectorPool.from_template(
+            AttackTagger(patterns=list(DEFAULT_CATALOGUE)),
+            n_shards=2,
+            backend=backend,
+        ) as pool:
+            ticket = pool.submit_batch(_benign_alerts(8))
+            routed_before = list(pool.alerts_routed)
+            # The blocking wrapper must refuse up front -- shipping the
+            # batch and then failing on the out-of-order ticket would
+            # double-apply it on retry.
+            with pytest.raises(RuntimeError, match="pending"):
+                pool.observe_batch(_benign_alerts(8))
+            assert pool.alerts_routed == routed_before, "batch must not be shipped"
+            assert pool.pending_batches == 1
+            pool.collect(ticket)
+
+    def test_close_drains_uncollected_batches(self):
+        pool = ShardedDetectorPool.from_template(
+            AttackTagger(patterns=list(DEFAULT_CATALOGUE)),
+            n_shards=2,
+            backend="process",
+        )
+        pool.submit_batch(_benign_alerts(12))
+        pool.submit_batch(_benign_alerts(12))
+        assert pool.pending_batches == 2
+        pool.close()  # must not wedge on the unread replies
+        assert pool.pending_batches == 0
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.observe_batch(_benign_alerts(4))
 
 
 class TestPickleSafeShardState:

@@ -467,3 +467,73 @@ class TestResponderAndPipeline:
         pipeline = TestbedPipeline(detectors={"factor_graph": detector})
         # Default configuration drives the caller's instance directly.
         assert pipeline.detectors["factor_graph"] is detector
+
+
+class TestTrafficMirrorBuffers:
+    """Bounded-buffer eviction is O(1) and every drop is counted."""
+
+    def _raw_record(self, timestamp: float):
+        from repro.telemetry import SyslogMonitor
+
+        monitor = SyslogMonitor("internal-host")
+        monitor.sshd_accepted(timestamp, "alice", "10.0.0.1")
+        return monitor.records[0]
+
+    def test_unbounded_mirror_never_drops(self):
+        from repro.testbed import TrafficMirror
+
+        mirror = TrafficMirror()
+        for index in range(100):
+            mirror.publish_alert(Alert(float(index), "alert_port_scan", "host:h0"))
+        assert len(mirror.alert_buffer) == 100
+        assert mirror.stats.dropped_alerts == 0
+        assert mirror.stats.dropped_raw == 0
+
+    def test_saturated_raw_buffer_counts_every_drop(self):
+        from repro.testbed import TrafficMirror
+
+        mirror = TrafficMirror(max_buffer=10)
+        for index in range(25):
+            mirror.publish_raw(self._raw_record(float(index)))
+        assert len(mirror.raw_buffer) == 10
+        # 25 published, 10 retained: all 15 evictions counted, not one
+        # per trim.
+        assert mirror.stats.dropped_raw == 15
+        assert mirror.stats.raw_records == 25
+        # The retained window is the newest records.
+        assert mirror.raw_buffer[0].timestamp == 15.0
+        assert mirror.raw_buffer[-1].timestamp == 24.0
+
+    def test_saturated_alert_buffer_counts_drops_too(self):
+        from repro.testbed import TrafficMirror
+
+        mirror = TrafficMirror(max_buffer=4)
+        for index in range(9):
+            mirror.publish_alert(Alert(float(index), "alert_port_scan", "host:h0"))
+        # Alert-buffer drops used to be invisible; now they are counted.
+        assert mirror.stats.dropped_alerts == 5
+        assert [alert.timestamp for alert in mirror.alert_buffer] == [5.0, 6.0, 7.0, 8.0]
+
+    def test_subscribers_see_dropped_items(self):
+        from repro.testbed import TrafficMirror
+
+        mirror = TrafficMirror(max_buffer=2)
+        seen: list[float] = []
+        mirror.subscribe_alerts(lambda alert: seen.append(alert.timestamp))
+        for index in range(6):
+            mirror.publish_alert(Alert(float(index), "alert_port_scan", "host:h0"))
+        # Bounding the retention buffer never affects delivery.
+        assert seen == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert len(mirror.alert_buffer) == 2
+
+    def test_max_buffer_is_read_only(self):
+        from repro.testbed import TrafficMirror
+
+        mirror = TrafficMirror(max_buffer=5)
+        assert mirror.max_buffer == 5
+        assert TrafficMirror().max_buffer is None
+        # The bound is the deques' maxlen, fixed at construction; a
+        # silent post-hoc assignment (which the old list-based trim
+        # honoured) must fail loudly instead of doing nothing.
+        with pytest.raises(AttributeError):
+            mirror.max_buffer = 10
