@@ -21,6 +21,9 @@ Supercomputing Infrastructure" (Cao, Kalbarczyk, Iyer; NCSA/UIUC):
   and export (the Fig. 1 visualisation).
 * :mod:`repro.analysis` -- the longitudinal measurement study
   (Table I, Fig. 2, Fig. 3, and the insights).
+* :mod:`repro.fuzz` -- the adversarial campaign fuzzer and the
+  cross-configuration differential oracle (engine x shards x backend x
+  driver equivalence as a generative, checked property).
 """
 
 __version__ = "1.0.0"
@@ -33,5 +36,6 @@ __all__ = [
     "attacks",
     "viz",
     "analysis",
+    "fuzz",
     "__version__",
 ]

@@ -107,6 +107,16 @@ class ScenarioResult:
         times = [a.timestamp for a in self.context.alerts]
         return max(times) - min(times)
 
+    def alerts_for_entity(self, entity: str) -> list[Alert]:
+        """The scenario's time-ordered alerts re-attributed to ``entity``.
+
+        Campaign composition replays one scripted scenario per fuzzed
+        attacker, so the same attack chain must be attributable to an
+        arbitrary entity (including unicode or hash-colliding names)
+        without re-running the scenario.
+        """
+        return [alert.with_entity(entity) for alert in self.alerts]
+
 
 class AttackScenario:
     """Base class: a named, ordered list of steps plus a runner."""

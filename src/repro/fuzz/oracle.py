@@ -1,0 +1,388 @@
+"""Cross-configuration differential replay oracle.
+
+The repo's central correctness claim is that four independent execution
+axes never change a detection:
+
+* decode **engine** -- ``streaming`` / ``rebuild`` / ``naive``,
+* shard count -- entity-partitioned detector replicas,
+* shard **backend** -- ``serial`` / ``process`` workers,
+* pipeline **driver** -- batch-synchronous ``ingest_alerts``, the
+  overlapped ``ingest_alert_batches``, and the raw-record
+  ``ingest_raw_stream`` path.
+
+:class:`DifferentialOracle` turns that claim into a checked property:
+it replays one :class:`~repro.fuzz.campaign.Campaign` through every
+configuration in the matrix and asserts that detections (every field),
+the cross-detector detection log, operator notifications, response
+records, and the :class:`~repro.testbed.pipeline.PipelineStats`
+counters are bit-identical to the reference configuration (the seed
+path: ``naive`` engine, one serial shard, batch-synchronous driver).
+
+Campaign control events map onto the pipeline's deferred-safe detector
+controls (:meth:`TestbedPipeline.reset_entity` /
+:meth:`~TestbedPipeline.reset_detectors` /
+:meth:`~TestbedPipeline.reopen_detectors`), so mid-stream remediation
+and detection-tier restarts are replayed at the same stream position
+under every driver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import traceback
+from typing import Iterable, Optional, Sequence
+
+from ..core.alerts import Alert
+from ..core.attack_tagger import AttackTagger, Detection
+from ..incidents import DEFAULT_CATALOGUE
+from ..telemetry.logsource import MonitorKind, RawLogRecord
+from ..telemetry.normalizer import ZEEK_NOTICE_MAP
+from ..testbed.pipeline import TestbedPipeline
+from .campaign import Campaign
+
+#: Decode engines under differential test.
+ENGINES = ("streaming", "rebuild", "naive")
+#: Shard counts under differential test.
+SHARD_COUNTS = (1, 2, 4)
+#: Sharding backends under differential test.
+BACKENDS = ("serial", "process")
+#: Pipeline drivers under differential test.
+DRIVERS = ("sync", "alert_stream", "raw_stream")
+
+#: ``PipelineStats``-derived summary keys that must match bit-for-bit
+#: (timing-valued keys are excluded: wall time is not deterministic).
+COMPARED_COUNTERS = (
+    "raw_records",
+    "normalized_alerts",
+    "filtered_alerts",
+    "detections",
+    "responses",
+    "notifications",
+    "blocked_sources",
+    "normalization_drop_rate",
+    "filter_reduction",
+)
+
+#: Inverse of the Zeek notice table (alert name -> notice name).
+_ZEEK_NOTICE_FOR: dict[str, str] = {}
+for _note, _alert_name in ZEEK_NOTICE_MAP.items():
+    _ZEEK_NOTICE_FOR.setdefault(_alert_name, _note)
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleConfig:
+    """One point of the engine x shards x backend x driver matrix."""
+
+    engine: str = "streaming"
+    n_shards: int = 1
+    backend: str = "serial"
+    driver: str = "sync"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.driver not in DRIVERS:
+            raise ValueError(f"unknown driver {self.driver!r}")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+
+    @property
+    def label(self) -> str:
+        """Compact ``engine:shards:backend:driver`` spec string."""
+        return f"{self.engine}:{self.n_shards}:{self.backend}:{self.driver}"
+
+    @classmethod
+    def parse(cls, spec: str) -> "OracleConfig":
+        """Inverse of :attr:`label` (``streaming:4:process:sync``)."""
+        engine, shards, backend, driver = spec.split(":")
+        return cls(engine=engine, n_shards=int(shards), backend=backend, driver=driver)
+
+
+#: The reference configuration: the seed execution path.
+REFERENCE_CONFIG = OracleConfig(engine="naive", n_shards=1, backend="serial", driver="sync")
+
+
+def full_matrix() -> list[OracleConfig]:
+    """The complete engine x shards x backend x driver matrix (54 configs)."""
+    return [
+        OracleConfig(engine=e, n_shards=s, backend=b, driver=d)
+        for e, s, b, d in itertools.product(ENGINES, SHARD_COUNTS, BACKENDS, DRIVERS)
+    ]
+
+
+def quick_matrix() -> list[OracleConfig]:
+    """A small cross-section covering every axis value at least twice."""
+    return [
+        OracleConfig("streaming", 1, "serial", "sync"),
+        OracleConfig("rebuild", 1, "serial", "sync"),
+        OracleConfig("streaming", 4, "process", "alert_stream"),
+        OracleConfig("streaming", 2, "serial", "raw_stream"),
+        OracleConfig("rebuild", 2, "serial", "alert_stream"),
+        OracleConfig("rebuild", 4, "serial", "sync"),
+        OracleConfig("naive", 2, "process", "raw_stream"),
+        OracleConfig("naive", 4, "serial", "alert_stream"),
+        OracleConfig("streaming", 4, "process", "raw_stream"),
+    ]
+
+
+def alert_to_zeek_record(alert: Alert) -> RawLogRecord:
+    """Express one raw-capable alert as the Zeek notice producing it.
+
+    The exact inverse of the normaliser's ``zeek_notice`` rule for
+    alerts composed with ``raw_capable=True``: normalising the returned
+    record yields an alert equal (field-for-field, attributes aside) to
+    the input, with no dropped records -- which is what lets the
+    ``raw_stream`` driver share counters with the alert drivers.
+    """
+    note = _ZEEK_NOTICE_FOR.get(alert.name)
+    if note is None:
+        raise ValueError(f"alert {alert.name!r} is not Zeek-notice expressible")
+    if not alert.entity.startswith("host:"):
+        raise ValueError(f"raw replay needs host entities, got {alert.entity!r}")
+    host = alert.entity.split(":", 1)[1]
+    return RawLogRecord(
+        timestamp=alert.timestamp,
+        monitor=MonitorKind.ZEEK,
+        host=host,
+        message=f"notice {note} from {alert.source_ip or '-'}",
+        fields={"stream": "notice", "note": note, "orig_h": alert.source_ip},
+    )
+
+
+def alerts_to_zeek_records(alerts: Iterable[Alert]) -> list[RawLogRecord]:
+    """Batch form of :func:`alert_to_zeek_record`."""
+    return [alert_to_zeek_record(alert) for alert in alerts]
+
+
+@dataclasses.dataclass
+class ReplayResult:
+    """Everything one configuration's replay produced."""
+
+    config: OracleConfig
+    detections: list[Detection]
+    detection_log: list[tuple[str, Detection]]
+    notifications: list
+    actions: list
+    counters: dict[str, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class Divergence:
+    """One field on which a configuration disagreed with the reference."""
+
+    config: OracleConfig
+    field: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.config.label}] {self.field}: {self.detail}"
+
+
+@dataclasses.dataclass
+class CampaignVerdict:
+    """The oracle's verdict for one campaign across the matrix."""
+
+    campaign: Campaign
+    reference: Optional[ReplayResult]
+    divergences: list[Divergence]
+    configs_run: int = 0
+    configs_skipped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every replayed configuration matched the reference."""
+        return not self.divergences
+
+
+class DifferentialOracle:
+    """Replays campaigns across the configuration matrix and compares.
+
+    Parameters
+    ----------
+    configs:
+        The matrix to test (default :func:`full_matrix`).  ``raw_stream``
+        configurations are skipped for campaigns that are not
+        raw-capable (their alerts cannot be expressed as raw records).
+    reference:
+        The configuration every other one is compared against.
+    """
+
+    def __init__(
+        self,
+        configs: Optional[Sequence[OracleConfig]] = None,
+        *,
+        reference: OracleConfig = REFERENCE_CONFIG,
+    ) -> None:
+        self.configs = list(configs) if configs is not None else full_matrix()
+        self.reference = reference
+
+    # -- replay ----------------------------------------------------------
+    def replay(self, campaign: Campaign, config: OracleConfig) -> ReplayResult:
+        """Replay one campaign under one configuration."""
+        tagger = AttackTagger(
+            patterns=list(DEFAULT_CATALOGUE),
+            engine=config.engine,
+            max_window=campaign.max_window,
+            detection_threshold=campaign.detection_threshold,
+        )
+        detections: list[Detection] = []
+        with TestbedPipeline(
+            detectors={"factor_graph": tagger},
+            n_shards=config.n_shards,
+            shard_backend=config.backend,
+        ) as pipeline:
+            if config.driver == "sync":
+                for event in campaign.events:
+                    if event.kind == "batch":
+                        detections.extend(pipeline.ingest_alerts(list(event.alerts)))
+                    else:
+                        self._apply_control(pipeline, event)
+            else:
+                as_raw = config.driver == "raw_stream"
+
+                def batches():
+                    for event in campaign.events:
+                        if event.kind == "batch":
+                            if as_raw:
+                                yield alerts_to_zeek_records(event.alerts)
+                            else:
+                                yield list(event.alerts)
+                        else:
+                            # Applied mid-stream, possibly with a batch
+                            # in flight: the pipeline defers it to the
+                            # next submission boundary.
+                            self._apply_control(pipeline, event)
+
+                if as_raw:
+                    detections = pipeline.ingest_raw_stream(batches())
+                else:
+                    detections = pipeline.ingest_alert_batches(batches())
+            return ReplayResult(
+                config=config,
+                detections=detections,
+                detection_log=list(pipeline.detections),
+                notifications=list(pipeline.responder.notifications),
+                actions=list(pipeline.responder.actions),
+                counters={key: pipeline.summary()[key] for key in COMPARED_COUNTERS},
+            )
+
+    @staticmethod
+    def _apply_control(pipeline: TestbedPipeline, event) -> None:
+        if event.kind == "reset_entity":
+            pipeline.reset_entity(event.entity)
+        elif event.kind == "reset":
+            pipeline.reset_detectors()
+        elif event.kind == "reopen":
+            pipeline.reopen_detectors()
+
+    # -- comparison ------------------------------------------------------
+    def run(self, campaign: Campaign) -> CampaignVerdict:
+        """Replay the campaign across the matrix; collect divergences."""
+        verdict = CampaignVerdict(campaign=campaign, reference=None, divergences=[])
+        try:
+            reference = self.replay(campaign, self.reference)
+        except Exception:
+            verdict.divergences.append(
+                Divergence(self.reference, "exception", traceback.format_exc())
+            )
+            return verdict
+        verdict.reference = reference
+        for config in self.configs:
+            if config == self.reference:
+                continue
+            if config.driver == "raw_stream" and not campaign.raw_capable:
+                verdict.configs_skipped += 1
+                continue
+            verdict.configs_run += 1
+            try:
+                result = self.replay(campaign, config)
+            except Exception:
+                verdict.divergences.append(
+                    Divergence(config, "exception", traceback.format_exc())
+                )
+                continue
+            verdict.divergences.extend(self._compare(reference, result))
+        return verdict
+
+    def check(self, campaign: Campaign) -> bool:
+        """Whether the campaign replays identically across the matrix."""
+        return self.run(campaign).ok
+
+    @staticmethod
+    def _compare(reference: ReplayResult, result: ReplayResult) -> list[Divergence]:
+        divergences: list[Divergence] = []
+
+        def diff_list(field: str, expected: list, got: list) -> None:
+            if expected == got:
+                return
+            if len(expected) != len(got):
+                detail = f"length {len(got)} != {len(expected)}"
+            else:
+                position = next(
+                    i for i, (a, b) in enumerate(zip(expected, got)) if a != b
+                )
+                detail = (
+                    f"first mismatch at index {position}: "
+                    f"{got[position]!r} != {expected[position]!r}"
+                )
+            divergences.append(Divergence(result.config, field, detail))
+
+        diff_list("detections", reference.detections, result.detections)
+        diff_list("detection_log", reference.detection_log, result.detection_log)
+        diff_list("notifications", reference.notifications, result.notifications)
+        diff_list("actions", reference.actions, result.actions)
+        # ``Alert.__eq__`` excludes ``attributes`` (compare=False), so
+        # the list comparisons above cannot see attribute corruption --
+        # e.g. a columnar wire-format bug in the process backend.
+        # Compare the trigger metadata explicitly.  Raw-driver replays
+        # are exempt: their alerts are rebuilt by the normaliser, whose
+        # attributes come from the Zeek record, not the campaign.
+        if result.config.driver != "raw_stream" and len(result.detections) == len(
+            reference.detections
+        ):
+            for position, (expected, got) in enumerate(
+                zip(reference.detections, result.detections)
+            ):
+                if dict(got.trigger.attributes) != dict(expected.trigger.attributes):
+                    divergences.append(
+                        Divergence(
+                            result.config,
+                            "detections",
+                            f"trigger attributes mismatch at index {position}: "
+                            f"{dict(got.trigger.attributes)!r} != "
+                            f"{dict(expected.trigger.attributes)!r}",
+                        )
+                    )
+                    break
+        for key in COMPARED_COUNTERS:
+            if reference.counters[key] != result.counters[key]:
+                divergences.append(
+                    Divergence(
+                        result.config,
+                        f"counter:{key}",
+                        f"{result.counters[key]!r} != {reference.counters[key]!r}",
+                    )
+                )
+        return divergences
+
+
+__all__ = [
+    "ENGINES",
+    "SHARD_COUNTS",
+    "BACKENDS",
+    "DRIVERS",
+    "COMPARED_COUNTERS",
+    "OracleConfig",
+    "REFERENCE_CONFIG",
+    "full_matrix",
+    "quick_matrix",
+    "alert_to_zeek_record",
+    "alerts_to_zeek_records",
+    "ReplayResult",
+    "Divergence",
+    "CampaignVerdict",
+    "DifferentialOracle",
+]

@@ -1,0 +1,70 @@
+"""The replay corpus: shrunk failing campaigns, replayed forever after.
+
+Any campaign the differential oracle flags is shrunk
+(:mod:`repro.fuzz.shrinker`) and written -- seed plus shrunk event list
+-- into ``tests/regressions/``.  The tier-1 suite replays every file in
+that directory through the full configuration matrix on every run, so a
+divergence fixed once can never silently return.
+
+The format is the campaign JSON of
+:meth:`repro.fuzz.campaign.Campaign.save` (human-diffable, stable key
+order), one campaign per ``*.json`` file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .campaign import Campaign
+
+#: Default location of the replay corpus: anchored to the repository
+#: root (three levels above this module in the src/repro/fuzz layout),
+#: not the current working directory -- a repro written from any cwd
+#: must land where ``tests/test_regressions.py`` scans.
+DEFAULT_REGRESSIONS_DIR = (
+    Path(__file__).resolve().parents[3] / "tests" / "regressions"
+)
+
+
+def regression_name(campaign: Campaign) -> str:
+    """Deterministic filename for a campaign (label + content digest)."""
+    digest = hashlib.sha256(
+        json.dumps(campaign.to_dict(), sort_keys=True).encode("utf-8")
+    ).hexdigest()[:10]
+    label = campaign.label or f"seed{campaign.seed}"
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in label)
+    return f"{safe}-{digest}.json"
+
+
+def save_regression(
+    campaign: Campaign,
+    directory: str | Path = DEFAULT_REGRESSIONS_DIR,
+    *,
+    name: Optional[str] = None,
+) -> Path:
+    """Write one campaign into the replay corpus; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return campaign.save(directory / (name or regression_name(campaign)))
+
+
+def iter_regressions(
+    directory: str | Path = DEFAULT_REGRESSIONS_DIR,
+) -> Iterator[tuple[Path, Campaign]]:
+    """Yield ``(path, campaign)`` for every repro in the corpus (sorted)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        yield path, Campaign.load(path)
+
+
+__all__ = [
+    "DEFAULT_REGRESSIONS_DIR",
+    "regression_name",
+    "save_regression",
+    "iter_regressions",
+]

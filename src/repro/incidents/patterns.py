@@ -78,6 +78,29 @@ class AttackPattern:
         """Whether the pattern occurs (as an ordered subsequence) in ``names``."""
         return is_subsequence(self.names, names)
 
+    def proper_prefixes(self) -> list[tuple[str, ...]]:
+        """Every proper prefix of the backbone (length 1 .. length-1).
+
+        These are the *near-miss* inputs for adversarial workloads: an
+        entity that emits a proper prefix walks the detector right up
+        to the pattern boundary without completing it, stressing the
+        pattern-cursor bookkeeping without (necessarily) firing.
+        """
+        return [self.names[:length] for length in range(1, len(self.names))]
+
+    def mutated(self, position: int, replacement: str) -> tuple[str, ...]:
+        """The backbone with the alert at ``position`` substituted.
+
+        Another near-miss shape: the sequence has the pattern's length
+        and all but one of its alerts, so every cursor advances except
+        the one crossing the substituted step.
+        """
+        if not 0 <= position < len(self.names):
+            raise IndexError(f"pattern {self.name}: no position {position}")
+        names = list(self.names)
+        names[position] = replacement
+        return tuple(names)
+
 
 #: The signature motif called out repeatedly in the paper.
 DOWNLOAD_COMPILE_ERASE: tuple[str, ...] = (

@@ -184,6 +184,11 @@ class TestbedPipeline:
         ]
         self._pending_raw: list[RawLogRecord] = []
         self.mirror.subscribe_raw(self._pending_raw.append)
+        # Detector control operations (entity reset, full reset, tier
+        # reopen) requested while a detection batch is in flight; they
+        # are applied after that batch is collected, immediately before
+        # the next one is submitted (see :meth:`reset_entity`).
+        self._deferred_controls: list[tuple[str, Optional[str]]] = []
 
     def _build_pool(self, detector: Detector) -> ShardedDetectorPool:
         if self.n_shards == 1 and self.shard_backend == "serial":
@@ -343,6 +348,9 @@ class TestbedPipeline:
                 inflight = True
             if inflight:
                 detections.extend(self._collect_and_respond())
+            # Controls requested while the final batch was in flight
+            # (there is no further submit to flush them).
+            self._flush_detector_controls()
             return detections
         except BaseException:
             self._drain_inflight_detections()
@@ -363,9 +371,92 @@ class TestbedPipeline:
                 self._collect_and_respond()
             except Exception:
                 pass
+        # Controls deferred behind those batches are applied now --
+        # after their batch was collected, exactly the documented
+        # position -- rather than leaking into a later, unrelated
+        # ingestion call (or being dropped by close()).  The caller is
+        # re-raising, so control failures must not mask that error.
+        while self._deferred_controls:
+            control = self._deferred_controls.pop(0)
+            try:
+                self._apply_detector_control(control)
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Detector control (entity reset / full reset / tier reopen)
+    # ------------------------------------------------------------------
+    def reset_entity(self, entity: str) -> None:
+        """Forget one entity across every attached detector pool.
+
+        Models remediation (the host was re-imaged, the account was
+        re-credentialed): the detectors must stop carrying the entity's
+        history.  Safe to call mid-stream from inside an overlapped
+        driver's batch source: if a detection batch is in flight the
+        reset is *deferred* and applied after that batch is collected,
+        immediately before the next one is submitted -- the same
+        position in the alert stream a batch-synchronous caller issuing
+        the reset between the two batches observes, so the overlapped
+        and synchronous schedules stay bit-identical.
+        """
+        self._queue_detector_control(("reset_entity", entity))
+
+    def reset_detectors(self) -> None:
+        """Forget all detector state (every pool), deferred-safe.
+
+        The pipeline's cumulative detection log and stats counters are
+        kept -- only the detectors' per-entity state and their own
+        detection records are cleared.
+        """
+        self._queue_detector_control(("reset", None))
+
+    def reopen_detectors(self) -> None:
+        """Restart the detection tier (fresh state, fresh workers).
+
+        Drives :meth:`repro.testbed.sharding.ShardedDetectorPool
+        .reopen` on every pool: process-backed pools recycle their
+        worker processes, serial pools reset their replicas in place.
+        Deferred-safe like :meth:`reset_entity`.
+        """
+        self._queue_detector_control(("reopen", None))
+
+    def _queue_detector_control(self, control: tuple[str, Optional[str]]) -> None:
+        if self.detection_stage.pending_batches:
+            self._deferred_controls.append(control)
+        else:
+            self._apply_detector_control(control)
+
+    def _apply_detector_control(self, control: tuple[str, Optional[str]]) -> None:
+        # Drive every pool even if one fails (mirroring
+        # ShardedDetectorPool.reset across shards): side-by-side
+        # detectors must never end up with a half-applied control.  The
+        # first error is re-raised after all pools were driven.
+        verb, payload = control
+        error: Optional[Exception] = None
+        for pool in self.detector_pools.values():
+            try:
+                if verb == "reset_entity":
+                    pool.reset_entity(payload)
+                elif verb == "reset":
+                    pool.reset()
+                elif verb == "reopen":
+                    pool.reopen()
+                else:
+                    raise ValueError(f"unknown detector control {verb!r}")
+            except Exception as exc:
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+
+    def _flush_detector_controls(self) -> None:
+        """Apply controls deferred while a detection batch was in flight."""
+        while self._deferred_controls:
+            self._apply_detector_control(self._deferred_controls.pop(0))
 
     def _submit_detection(self, filtered: Sequence[Alert]) -> None:
         """Ship one filtered batch to the detection stage (timed)."""
+        self._flush_detector_controls()
         started = time.perf_counter()
         self.detection_stage.submit(filtered)
         self.stats.add_stage_seconds(

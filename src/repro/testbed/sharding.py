@@ -561,12 +561,21 @@ class ShardedDetectorPool:
                 "batch(es) pending; collect() them first"
             )
 
-    def reset(self) -> None:
-        """Forget all shard state and past detections."""
-        self._require_idle("reset")
+    def _clear_pool_state(self) -> None:
+        """Zero the pool-level records: detections and telemetry.
+
+        The single definition of "pristine pool state" shared by
+        :meth:`reset` and :meth:`reopen` (fresh construction produces
+        the same values), so the two lifecycle paths cannot drift.
+        """
         self._detections.clear()
         self.alerts_routed = [0] * self.n_shards
         self.busy_seconds = [0.0] * self.n_shards
+
+    def reset(self) -> None:
+        """Forget all shard state and past detections."""
+        self._require_idle("reset")
+        self._clear_pool_state()
         error: Optional[ShardWorkerError] = None
         if self.backend == "serial":
             # Drive every shard even if one fails, mirroring the
@@ -607,6 +616,47 @@ class ShardedDetectorPool:
                 raise ShardWorkerError(shard, str(payload))
 
     # -- lifecycle ---------------------------------------------------------
+    def reopen(self) -> None:
+        """Restart the detection tier: pristine state, fresh workers.
+
+        Backend-uniform semantics: after ``reopen()`` the pool behaves
+        like a freshly constructed one -- no per-entity detector state,
+        no recorded detections, zeroed routing/busy telemetry, and (for
+        the process backend) brand-new worker processes spawned from
+        the factory.  Uncollected submitted batches are drained first
+        (their results discarded), mirroring :meth:`close`.
+
+        Reopening a *closed* process pool is allowed -- this is the
+        ``close()``/reopen lifecycle the campaign fuzzer exercises --
+        and reopening an open pool recycles its workers.  The serial
+        backend resets its replicas in place (for a :meth:`wrap` facade
+        pool that resets the caller's own detector instance, which is
+        exactly what "the detection tier restarted" means there).
+        """
+        self._drain_pending()
+        if self.backend == "process":
+            # Mark closed before touching the workers: if a respawn
+            # below fails, the pool must reject batches as closed, not
+            # pose as open with dead worker handles.
+            if not self._closed:
+                self._closed = True
+                for worker in self._workers:
+                    worker.close()
+            self._workers = []
+            fresh: List[_ProcessShard] = []
+            try:
+                for shard in range(self.n_shards):
+                    fresh.append(_ProcessShard(shard, self.detector_factory))
+            except Exception:
+                for worker in fresh:
+                    worker.close()
+                raise
+            self._workers = fresh
+            self._closed = False
+            self._clear_pool_state()
+        else:
+            self.reset()
+
     def close(self) -> None:
         """Shut down worker processes (idempotent).
 

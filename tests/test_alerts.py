@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.alerts import (
     Alert,
@@ -12,7 +13,9 @@ from repro.core.alerts import (
     DEFAULT_VOCABULARY,
     Severity,
     build_default_vocabulary,
+    pack_alert_columns,
     sort_alerts,
+    unpack_alert_columns,
 )
 from repro.core.states import AttackStage
 
@@ -115,3 +118,58 @@ class TestAlert:
         alert = Alert(0.0, "alert_not_registered", "user:a")
         with pytest.raises(KeyError):
             alert.spec()
+
+
+#: Arbitrary-unicode alert batches for the columnar wire round-trip.
+#: ``pack_alert_columns`` never consults the vocabulary, so names are
+#: unconstrained text (surrogates excluded: they are unencodable and
+#: cannot cross a process boundary anyway).
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=24
+)
+_timestamps = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+_attribute_values = st.one_of(
+    _text, st.integers(min_value=-(2**40), max_value=2**40), st.booleans()
+)
+_alert_strategy = st.builds(
+    Alert,
+    timestamp=_timestamps,
+    name=_text,
+    entity=_text,
+    source_ip=_text,
+    host=_text,
+    monitor=_text,
+    attributes=st.dictionaries(_text, _attribute_values, max_size=4),
+)
+_batch_strategy = st.lists(_alert_strategy, min_size=0, max_size=12)
+
+
+class TestAlertColumnsRoundTrip:
+    """Property: the columnar wire representation is lossless."""
+
+    @given(_batch_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_pack_unpack_reconstructs_alerts_exactly(self, batch):
+        rebuilt = unpack_alert_columns(pack_alert_columns(batch))
+        assert rebuilt == batch
+        # Alert equality excludes ``attributes`` (compare=False), so
+        # exact reconstruction of the metadata is asserted separately.
+        for original, copy in zip(batch, rebuilt):
+            assert dict(copy.attributes) == dict(original.attributes)
+
+    @given(_batch_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_attributes_column_elided_exactly_when_all_empty(self, batch):
+        columns = pack_alert_columns(batch)
+        if any(alert.attributes for alert in batch):
+            assert columns[-1] is not None
+        else:
+            assert columns[-1] is None
+        assert unpack_alert_columns(columns) == batch
+
+    def test_empty_batch_round_trips(self):
+        columns = pack_alert_columns([])
+        assert columns[-1] is None
+        assert unpack_alert_columns(columns) == []

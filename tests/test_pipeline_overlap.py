@@ -281,6 +281,163 @@ class TestOverlapFailureRecovery:
         pools["alpha"].close()
 
 
+class TestMidStreamEntityReset:
+    """``reset_entity`` injected through the overlapped drivers.
+
+    The pool-level semantics (tagger / ShardedDetectorPool) are covered
+    in test_detectors.py / test_sharding.py; this class pins the
+    end-to-end behaviour through ``ingest_alert_batches`` with a ticket
+    in flight: the pipeline defers the reset to the next submission
+    boundary, which lands it at exactly the stream position a
+    batch-synchronous caller issuing it between the two batches gets.
+    """
+
+    ENTITY = "user:eve"
+
+    def _chain_batches(self):
+        # This chain fires only once complete (neither half alone
+        # crosses the threshold), so a reset between the halves must
+        # prevent the detection.
+        names = [
+            "alert_db_default_password_login",
+            "alert_db_largeobject_payload",
+            "alert_tmp_executable_created",
+            "alert_outbound_c2",
+        ]
+        chain = [
+            Alert(float(i) * 300.0, name, self.ENTITY, source_ip="203.0.113.9")
+            for i, name in enumerate(names)
+        ]
+        noise = build_mixed_stream(seed=13, n_entities=12, length=120)
+        return [chain[:2] + noise[:60], chain[2:] + noise[60:]]
+
+    def _run_sync_with_reset(self, batches, *, n_shards, backend, reset=True):
+        with fresh_pipeline(n_shards, backend) as pipeline:
+            detections = list(pipeline.ingest_alerts(batches[0]))
+            if reset:
+                pipeline.reset_entity(self.ENTITY)
+            detections.extend(pipeline.ingest_alerts(batches[1]))
+            return detections, pipeline.summary(), list(pipeline.detections)
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_overlapped_reset_matches_batch_sync(self, n_shards, backend):
+        batches = self._chain_batches()
+        reference = self._run_sync_with_reset(
+            batches, n_shards=n_shards, backend=backend
+        )
+        with fresh_pipeline(n_shards, backend) as pipeline:
+            deferred_at_request = []
+
+            def stream():
+                yield batches[0]
+                # Requested while batch 1's ticket is in flight: the
+                # overlapped driver preps (and runs this source for)
+                # batch 2 before collecting batch 1.
+                deferred_at_request.append(pipeline.detection_stage.pending_batches)
+                pipeline.reset_entity(self.ENTITY)
+                yield batches[1]
+
+            detections = pipeline.ingest_alert_batches(stream())
+            summary = pipeline.summary()
+            log = list(pipeline.detections)
+        assert deferred_at_request == [1], "reset must race an in-flight ticket"
+        assert detections == reference[0]
+        assert log == reference[2]
+        for key in COUNTER_KEYS:
+            assert summary[key] == reference[1][key], key
+
+    def test_reset_actually_changes_the_outcome(self):
+        """The injected reset must prevent the chain's detection."""
+        batches = self._chain_batches()
+        with_reset = self._run_sync_with_reset(batches, n_shards=2, backend="serial")
+        without = self._run_sync_with_reset(
+            batches, n_shards=2, backend="serial", reset=False
+        )
+        fired_without = {d.entity for d in without[0]}
+        fired_with = {d.entity for d in with_reset[0]}
+        assert self.ENTITY in fired_without
+        assert self.ENTITY not in fired_with
+
+    def test_deferred_reset_is_applied_not_leaked_when_the_stream_dies(self):
+        """A crash while a control is deferred must still apply it.
+
+        The control was requested after batch N; the unwind collects
+        batch N, so the control's documented stream position exists and
+        it is applied there -- never left queued to fire at the start
+        of a later, unrelated ingestion call.
+        """
+        batches = self._chain_batches()
+        with fresh_pipeline(2, "serial") as pipeline:
+            def dying_stream():
+                yield batches[0]
+                pipeline.reset_entity(self.ENTITY)  # deferred: ticket in flight
+                raise RuntimeError("source died")
+                yield batches[1]  # pragma: no cover
+
+            with pytest.raises(RuntimeError, match="source died"):
+                pipeline.ingest_alert_batches(dying_stream())
+            assert pipeline._deferred_controls == []
+            pool = pipeline.detector_pools["factor_graph"]
+            assert all(
+                self.ENTITY not in shard.entities() for shard in pool.shards
+            )
+            # The next ingestion starts clean: the chain tail alone
+            # must not complete the pattern for the forgotten entity.
+            assert [
+                d for d in pipeline.ingest_alerts(batches[1])
+                if d.entity == self.ENTITY
+            ] == []
+
+    def test_control_reaches_every_pool_even_if_one_fails(self):
+        """A failing pool must not starve the other detectors of a control."""
+        pipeline = TestbedPipeline(
+            detectors={
+                "alpha": AttackTagger(patterns=list(DEFAULT_CATALOGUE)),
+                "beta": AttackTagger(patterns=list(DEFAULT_CATALOGUE)),
+            },
+            primary_detector="alpha",
+            n_shards=2,
+            shard_backend="serial",
+        )
+        with pipeline:
+            batches = self._chain_batches()
+            pipeline.ingest_alerts(batches[0])
+            # "alpha" iterates first; its failure must not stop the
+            # reset from reaching "beta".
+            failing = pipeline.detector_pools["alpha"]
+            original = failing.reset_entity
+            failing.reset_entity = lambda entity: (_ for _ in ()).throw(
+                RuntimeError("alpha pool broken")
+            )
+            try:
+                with pytest.raises(RuntimeError, match="alpha pool broken"):
+                    pipeline.reset_entity(self.ENTITY)
+            finally:
+                failing.reset_entity = original
+            beta = pipeline.detector_pools["beta"]
+            assert all(
+                self.ENTITY not in shard.entities() for shard in beta.shards
+            )
+
+    def test_trailing_reset_is_flushed_after_the_final_batch(self):
+        batches = self._chain_batches()
+        with fresh_pipeline(2, "serial") as pipeline:
+            def stream():
+                yield batches[0]
+                yield batches[1]
+                pipeline.reset_entity(self.ENTITY)
+
+            pipeline.ingest_alert_batches(stream())
+            # The trailing reset raced the final in-flight batch; the
+            # driver must flush it after the last collect.
+            assert pipeline._deferred_controls == []
+            pool = pipeline.detector_pools["factor_graph"]
+            assert all(
+                self.ENTITY not in shard.entities() for shard in pool.shards
+            )
+
+
 class TestPendingRawDrain:
     """Directly mirrored records are drained by the next ingestion call."""
 

@@ -1,0 +1,43 @@
+"""Replay corpus: every committed repro replays green, forever.
+
+``tests/regressions/`` holds shrunk fuzz campaigns -- either minimal
+repros of divergences the differential oracle once found, or minimal
+pins of historically bug-prone shapes (mid-stream entity reset racing
+an in-flight ticket, detection-tier reopen between batches, raw
+unicode entities with duplicate timestamps).  Each file is replayed
+through the *full* engine x shards x backend x driver matrix on every
+tier-1 run, so a divergence fixed once cannot silently return.
+
+To add a repro: run ``python -m repro.fuzz`` (it shrinks and writes
+failing campaigns here automatically) and commit the JSON file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import DifferentialOracle, full_matrix, iter_regressions
+
+REGRESSIONS_DIR = Path(__file__).parent / "regressions"
+
+_CORPUS = list(iter_regressions(REGRESSIONS_DIR))
+
+
+def test_replay_corpus_is_not_empty():
+    assert _CORPUS, "tests/regressions must contain at least one repro"
+
+
+@pytest.mark.parametrize(
+    "path, campaign",
+    _CORPUS,
+    ids=[path.stem for path, _ in _CORPUS],
+)
+def test_regression_replays_identically_across_the_full_matrix(path, campaign):
+    verdict = DifferentialOracle(full_matrix()).run(campaign)
+    assert verdict.ok, (
+        f"{path.name} diverged again:\n"
+        + "\n".join(str(d) for d in verdict.divergences)
+    )
+    assert verdict.configs_run > 0

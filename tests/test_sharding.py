@@ -471,6 +471,51 @@ class TestClosedPoolLifecycle:
         with pytest.raises(RuntimeError, match="closed"):
             pool.collect()
 
+    def test_closed_pool_reopens_into_a_working_pool(self):
+        pool = self._closed_pool()
+        pool.reopen()
+        try:
+            assert not pool.closed
+            assert pool.observe_batch(_benign_alerts(4)) == []
+            assert sum(pool.alerts_routed) == 4
+        finally:
+            pool.close()
+
+    def test_failed_reopen_leaves_the_pool_closed_not_half_dead(self, monkeypatch):
+        """A worker-spawn failure mid-reopen must not pose as open."""
+        import repro.testbed.sharding as sharding_module
+
+        pool = ShardedDetectorPool.from_template(
+            AttackTagger(), n_shards=2, backend="process"
+        )
+        spawned = []
+        real_shard = sharding_module._ProcessShard
+
+        def failing_spawn(index, factory):
+            if index == 1:
+                raise OSError("spawn failed")
+            shard = real_shard(index, factory)
+            spawned.append(shard)
+            return shard
+
+        monkeypatch.setattr(sharding_module, "_ProcessShard", failing_spawn)
+        with pytest.raises(OSError, match="spawn failed"):
+            pool.reopen()
+        # The pool is cleanly closed (no dead worker handles posing as
+        # live), rejects batches with the lifecycle error, and the
+        # partially spawned replacement worker was shut down.
+        assert pool.closed
+        assert pool._workers == []
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit_batch(_benign_alerts(2))
+        assert all(not shard.process.is_alive() for shard in spawned)
+        monkeypatch.undo()
+        pool.reopen()  # recoverable once spawning works again
+        try:
+            assert pool.observe_batch(_benign_alerts(2)) == []
+        finally:
+            pool.close()
+
 
 class TestNonBlockingFanOut:
     """submit_batch()/collect() semantics shared by both backends."""
