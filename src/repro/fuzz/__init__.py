@@ -45,6 +45,16 @@ from .oracle import (
     full_matrix,
     quick_matrix,
 )
+from .chaos import (
+    ChaosComposer,
+    ChaosFailure,
+    ChaosOracle,
+    ChaosPoisonDetector,
+    ChaosVerdict,
+    FAULT_KINDS,
+    FaultPlan,
+    campaign_batches,
+)
 from .regressions import (
     DEFAULT_REGRESSIONS_DIR,
     iter_regressions,
@@ -74,6 +84,14 @@ __all__ = [
     "Divergence",
     "CampaignVerdict",
     "DifferentialOracle",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "ChaosPoisonDetector",
+    "ChaosFailure",
+    "ChaosVerdict",
+    "ChaosComposer",
+    "ChaosOracle",
+    "campaign_batches",
     "shrink_campaign",
     "shrink_for_oracle",
     "DEFAULT_REGRESSIONS_DIR",

@@ -67,13 +67,66 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="replay one saved campaign file instead of fuzzing")
     parser.add_argument("--fail-fast", action="store_true",
                         help="stop at the first diverging campaign")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run seeded fault campaigns against the "
+                             "crash-semantics oracle instead of the "
+                             "differential matrix")
     return parser
+
+
+def _chaos_main(args: argparse.Namespace) -> int:
+    """The ``--chaos`` mode: seeded fault campaigns, crash-semantics oracle."""
+    from .chaos import ChaosComposer, ChaosOracle
+
+    composer = ChaosComposer(args.base_seed, target_alerts=args.target_alerts)
+    oracle = ChaosOracle()
+    failures = 0
+    legs_total = 0
+    started = time.perf_counter()
+    for index, campaign, plans in composer.chaos_campaigns(args.campaigns):
+        campaign_started = time.perf_counter()
+        verdict = oracle.run(campaign, plans)
+        elapsed = time.perf_counter() - campaign_started
+        legs_total += verdict.legs_run
+        if verdict.failures:
+            status = f"VIOLATED ({len(verdict.failures)})"
+        elif verdict.legs_run == 0:
+            status = "SKIPPED (no fault legs)"
+        else:
+            status = "ok"
+        print(
+            f"{campaign.label:<24} alerts={campaign.num_alerts:<5} "
+            f"legs={verdict.legs_run:<2} {elapsed:6.2f}s  {status}",
+            flush=True,
+        )
+        if verdict.failures:
+            failures += 1
+            for failure in verdict.failures[:5]:
+                print(f"  {failure}")
+            if args.fail_fast:
+                break
+    total = time.perf_counter() - started
+    print(
+        f"{args.campaigns} chaos campaign(s), {legs_total} fault leg(s), "
+        f"{failures} violating, {total:.1f}s total"
+    )
+    if failures:
+        return 1
+    if legs_total == 0:
+        print(
+            "FAIL: nothing was actually checked -- no campaign produced "
+            "any fault leg (campaigns too small? see --target-alerts)"
+        )
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.seed is not None:
         args.base_seed = args.seed
+    if args.chaos:
+        return _chaos_main(args)
     if args.configs:
         configs = [OracleConfig.parse(spec) for spec in args.configs.split(",")]
     elif args.matrix == "quick":

@@ -19,6 +19,14 @@ from .addresses import (
     random_external_address,
 )
 from .bhr import BHRClient, BlackHoleRouter, BlockEntry, ScanRecord, generate_scan_storm
+from .checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    CheckpointStore,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .honeypot import DEFAULT_ENTRY_POINTS, CredentialHint, EntryPoint, Honeypot
 from .isolation import (
     EgressAttempt,
@@ -42,6 +50,11 @@ from .scheduler import EventHandle, Simulator
 from .sharding import (
     BACKENDS,
     DetectorTemplate,
+    PoolCloseResult,
+    RESTART_POLICIES,
+    RecoveryEvent,
+    RecoveryLog,
+    ShardRecoveryError,
     ShardedDetectorPool,
     ShardWorkerError,
     shard_of,
@@ -127,13 +140,25 @@ __all__ = [
     "generate_scan_storm",
     # sharding / stages
     "BACKENDS",
+    "RESTART_POLICIES",
     "DetectorTemplate",
+    "PoolCloseResult",
+    "RecoveryEvent",
+    "RecoveryLog",
     "ShardedDetectorPool",
+    "ShardRecoveryError",
     "ShardWorkerError",
     "shard_of",
     "PipelineStage",
     "DetectionStage",
     "ResponseStage",
+    # checkpoint
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointStore",
+    "read_checkpoint",
+    "write_checkpoint",
     # mirror / responder / pipeline
     "TrafficMirror",
     "MirrorStats",

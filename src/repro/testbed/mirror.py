@@ -100,6 +100,34 @@ class TrafficMirror:
         for alert in alerts:
             self.publish_alert(alert)
 
+    # -- checkpointing -----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture counters and retention buffers for a checkpoint.
+
+        Subscribers are wiring, not state: a restored pipeline re-wires
+        its own subscribers at construction, so only the buffers and
+        :class:`MirrorStats` are captured.
+        """
+        return {
+            "max_buffer": self.max_buffer,
+            "stats": dataclasses.replace(self.stats),
+            "raw_buffer": list(self.raw_buffer),
+            "alert_buffer": list(self.alert_buffer),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`snapshot_state` mapping back into this mirror."""
+        if state["max_buffer"] != self.max_buffer:
+            raise ValueError(
+                f"checkpoint mirror max_buffer={state['max_buffer']!r} does "
+                f"not match this mirror's max_buffer={self.max_buffer!r}"
+            )
+        self.raw_buffer.clear()
+        self.raw_buffer.extend(state["raw_buffer"])
+        self.alert_buffer.clear()
+        self.alert_buffer.extend(state["alert_buffer"])
+        self.stats = dataclasses.replace(state["stats"])
+
     # -- internals ----------------------------------------------------------------
     def _buffer(self, buffer: Deque, item) -> int:
         """Append ``item``; return how many entries the append evicted."""

@@ -41,10 +41,11 @@ from ..telemetry.filtering import ScanFilter, ScanFilterStage
 from ..telemetry.logsource import RawLogRecord
 from ..telemetry.normalizer import AlertNormalizer, NormalizerStage
 from .bhr import BHRClient, BlackHoleRouter
+from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
 from .honeypot import Honeypot
 from .mirror import TrafficMirror
 from .responder import ResponseOrchestrator, ResponsePolicy
-from .sharding import ShardedDetectorPool
+from .sharding import PoolCloseResult, ShardedDetectorPool
 from .stages import DetectionStage, PipelineStage, ResponseStage
 
 
@@ -120,6 +121,11 @@ class TestbedPipeline:
         :class:`~repro.testbed.sharding.ShardedDetectorPool` running
         them.  Call :meth:`close` (or use the pipeline as a context
         manager) to shut worker processes down.
+    restart_policy / max_restarts / backoff_base / snapshot_every:
+        Worker-death supervision for process-backed pools, passed
+        through to :class:`~repro.testbed.sharding.ShardedDetectorPool`
+        -- ``"raise"`` (default) surfaces deaths as typed errors;
+        ``"restore"`` self-heals them from per-shard snapshots.
     """
 
     #: Not a pytest test class (the name merely starts with "Test").
@@ -138,6 +144,10 @@ class TestbedPipeline:
         primary_detector: str = "factor_graph",
         n_shards: int = 1,
         shard_backend: str = "serial",
+        restart_policy: str = "raise",
+        max_restarts: int = 3,
+        backoff_base: float = 0.05,
+        snapshot_every: int = 1,
     ) -> None:
         self.vocabulary = vocabulary or DEFAULT_VOCABULARY
         self.honeypot = honeypot
@@ -148,6 +158,10 @@ class TestbedPipeline:
         self.scan_filter = scan_filter or ScanFilter(self.vocabulary)
         self.n_shards = int(n_shards)
         self.shard_backend = shard_backend
+        self.restart_policy = restart_policy
+        self.max_restarts = int(max_restarts)
+        self.backoff_base = float(backoff_base)
+        self.snapshot_every = int(snapshot_every)
         templates: dict[str, Detector] = detectors or {
             "factor_graph": AttackTagger(vocabulary=self.vocabulary)
         }
@@ -189,12 +203,21 @@ class TestbedPipeline:
         # are applied after that batch is collected, immediately before
         # the next one is submitted (see :meth:`reset_entity`).
         self._deferred_controls: list[tuple[str, Optional[str]]] = []
+        # Set by restore(): a pipeline restores at most once, and only
+        # while pristine (see _require_pristine_for_restore).
+        self._restored = False
 
     def _build_pool(self, detector: Detector) -> ShardedDetectorPool:
         if self.n_shards == 1 and self.shard_backend == "serial":
             return ShardedDetectorPool.wrap(detector)
         return ShardedDetectorPool.from_template(
-            detector, n_shards=self.n_shards, backend=self.shard_backend
+            detector,
+            n_shards=self.n_shards,
+            backend=self.shard_backend,
+            restart_policy=self.restart_policy,
+            max_restarts=self.max_restarts,
+            backoff_base=self.backoff_base,
+            snapshot_every=self.snapshot_every,
         )
 
     def _is_facade_pool(self, pool: ShardedDetectorPool) -> bool:
@@ -534,12 +557,180 @@ class TestbedPipeline:
         }
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def _checkpoint_config(self) -> dict[str, object]:
+        """The structural fingerprint a checkpoint must match to restore."""
+        return {
+            "n_shards": self.n_shards,
+            "shard_backend": self.shard_backend,
+            "primary_detector": self.primary_detector,
+            "pools": sorted(self.detector_pools),
+            "has_honeypot": self.honeypot is not None,
+        }
+
+    def _checkpoint_payload(self) -> dict[str, object]:
+        """Everything a pristine equal-config pipeline needs to continue.
+
+        Sets are serialised as *sorted lists* so the payload bytes are a
+        pure function of the pipeline state (checkpoint -> restore ->
+        checkpoint is byte-identical); they are rebuilt as sets on
+        restore.
+        """
+        return {
+            "config": self._checkpoint_config(),
+            "stats": self.stats,
+            "detections": list(self.detections),
+            "inflight_high_water": self.detection_stage.inflight_high_water,
+            "pending_raw": list(self._pending_raw),
+            "responder": {
+                "notifications": list(self.responder.notifications),
+                "actions": list(self.responder.actions),
+                "quarantined_entities": sorted(self.responder.quarantined_entities),
+            },
+            "router": {
+                "blocks": dict(self.router._blocks),
+                "history": list(self.router._history),
+                "scans": list(self.router._scans),
+                "scan_counter": dict(self.router.scan_counter),
+                "scan_watches": {
+                    threshold: sorted(pending)
+                    for threshold, pending in self.router._scan_watches.items()
+                },
+            },
+            "audit_log": list(self.bhr_client.audit_log),
+            "mirror": self.mirror.snapshot_state(),
+            "filter_stats": self.scan_filter.stats,
+            "honeypot": self.honeypot,
+            "pools": {
+                name: self.detector_pools[name].snapshot_state()
+                for name in sorted(self.detector_pools)
+            },
+        }
+
+    def checkpoint(self, path) -> int:
+        """Atomically persist the pipeline's full state to ``path``.
+
+        Snapshots every detector pool's per-entity state (pickled via
+        the detectors' own ``__getstate__``), the response/BHR/mirror
+        records, ``PipelineStats``, pending raw records, and the
+        in-flight high-water mark, such that a pristine equal-config
+        pipeline :meth:`restore`\\ d from the file replays the remaining
+        stream to bit-identical detections, logs, and counters.
+        Returns the checkpoint size in bytes.  Refuses to run with
+        detection batches in flight (the snapshot would be neither
+        before nor after them).
+        """
+        pending = self.detection_stage.pending_batches
+        if pending:
+            raise RuntimeError(
+                f"cannot checkpoint with {pending} detection batch(es) in "
+                "flight; collect them first"
+            )
+        return write_checkpoint(path, self._checkpoint_payload())
+
+    def _require_pristine_for_restore(self) -> None:
+        """A restore target must be freshly constructed (and equal-config).
+
+        Restoring over live state would silently merge two histories;
+        every divergence fails loudly with ``RuntimeError`` *before*
+        any state is touched, so a refused restore leaves the pipeline
+        exactly as it was.
+        """
+        if self._restored:
+            raise RuntimeError("pipeline was already restored once")
+        driven = (
+            self.stats.raw_records
+            or self.stats.normalized_alerts
+            or self.stats.filtered_alerts
+            or self.stats.detections
+            or self.stats.responses
+            or self.detections
+            or self._pending_raw
+            or self.detection_stage.pending_batches
+            or self.mirror.stats.raw_records
+            or self.mirror.stats.alerts
+            or self.responder.notifications
+            or self.responder.actions
+        )
+        if driven:
+            raise RuntimeError(
+                "cannot restore into a pipeline that has already processed "
+                "traffic; restore() requires a freshly constructed pipeline"
+            )
+
+    def restore(self, path) -> None:
+        """Load a :meth:`checkpoint` file into this (pristine) pipeline.
+
+        The pipeline must be freshly constructed with the same
+        structural configuration (shard count, backend, attached
+        detector names, primary, honeypot presence) as the one that
+        checkpointed -- a mismatch raises
+        :class:`~repro.testbed.checkpoint.CheckpointError`; a pipeline
+        that already processed traffic (or was already restored) raises
+        ``RuntimeError``.  Both checks run before any state is touched.
+        """
+        payload = read_checkpoint(path)
+        self._require_pristine_for_restore()
+        config = self._checkpoint_config()
+        if payload["config"] != config:
+            raise CheckpointError(
+                f"checkpoint config {payload['config']!r} does not match "
+                f"this pipeline's config {config!r}"
+            )
+        # All validation passed: apply in place, preserving the object
+        # identities the stages and external callers already hold (the
+        # detections list is the detection stage's sink; the facade
+        # detector is the caller's instance).
+        self.stats = payload["stats"]
+        self.detections[:] = payload["detections"]
+        self.detection_stage.inflight_high_water = payload["inflight_high_water"]
+        self._pending_raw[:] = payload["pending_raw"]
+        responder_state = payload["responder"]
+        self.responder.notifications[:] = responder_state["notifications"]
+        self.responder.actions[:] = responder_state["actions"]
+        self.responder.quarantined_entities.clear()
+        self.responder.quarantined_entities.update(
+            responder_state["quarantined_entities"]
+        )
+        router_state = payload["router"]
+        self.router._blocks.clear()
+        self.router._blocks.update(router_state["blocks"])
+        self.router._history[:] = router_state["history"]
+        self.router._scans[:] = router_state["scans"]
+        self.router.scan_counter.clear()
+        self.router.scan_counter.update(router_state["scan_counter"])
+        self.router._scan_watches.clear()
+        self.router._scan_watches.update(
+            {
+                threshold: set(pending)
+                for threshold, pending in router_state["scan_watches"].items()
+            }
+        )
+        self.bhr_client.audit_log[:] = payload["audit_log"]
+        self.mirror.restore_state(payload["mirror"])
+        self.scan_filter.stats = payload["filter_stats"]
+        if self.honeypot is not None and payload["honeypot"] is not None:
+            self.honeypot.__dict__.clear()
+            self.honeypot.__dict__.update(payload["honeypot"].__dict__)
+        for name, pool_state in payload["pools"].items():
+            self.detector_pools[name].restore_state(pool_state)
+        self._restored = True
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Shut down detector pools (worker processes, if any)."""
-        for pool in self.detector_pools.values():
-            pool.close()
+    def close(self, *, timeout: float = 5.0) -> dict[str, PoolCloseResult]:
+        """Shut down detector pools (worker processes, if any).
+
+        Returns the per-pool :class:`~repro.testbed.sharding
+        .PoolCloseResult` so callers can observe terminate/kill
+        escalations; every wait is bounded by ``timeout`` seconds.
+        """
+        return {
+            name: pool.close(timeout=timeout)
+            for name, pool in self.detector_pools.items()
+        }
 
     def __enter__(self) -> "TestbedPipeline":
         return self

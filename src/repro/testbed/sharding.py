@@ -64,10 +64,11 @@ import collections
 import copy
 import dataclasses
 import multiprocessing
+import pickle
 import time
 import traceback
 import zlib
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.alerts import Alert, pack_alert_columns, unpack_alert_columns
 from ..core.attack_tagger import Detection
@@ -75,6 +76,9 @@ from ..core.detector import Detector
 
 #: Supported execution backends.
 BACKENDS = ("serial", "process")
+
+#: Supported worker-death policies (process backend).
+RESTART_POLICIES = ("raise", "restore")
 
 
 class ShardWorkerError(RuntimeError):
@@ -94,6 +98,81 @@ class ShardWorkerError(RuntimeError):
         super().__init__(
             f"detector raised in shard {shard}:\n{worker_traceback}"
         )
+
+    def __reduce__(self):
+        # RuntimeError's default reduce would re-call __init__ with the
+        # formatted *message* as the only argument; reconstruct from
+        # the real fields so the error survives pickling (across
+        # process boundaries, into repro files).
+        return (type(self), (self.shard, self.worker_traceback))
+
+
+class ShardRecoveryError(ShardWorkerError):
+    """A dead shard worker could not be healed within ``max_restarts``.
+
+    Raised only under ``restart_policy="restore"`` once the restart
+    budget is exhausted; subclasses :class:`ShardWorkerError` so
+    existing handlers keep working.  ``attempts`` is the number of
+    respawns that were tried (every one of them is also recorded in the
+    pool's :class:`RecoveryLog`).
+    """
+
+    def __init__(self, shard: int, worker_traceback: str, attempts: int) -> None:
+        # Bypass ShardWorkerError.__init__: worker_traceback must stay
+        # the *original* death detail (not a re-wrapped message), so
+        # the pickle round-trip via __reduce__ is exact.
+        self.shard = shard
+        self.worker_traceback = worker_traceback
+        self.attempts = attempts
+        RuntimeError.__init__(
+            self,
+            f"shard {shard} unrecovered after {attempts} restart "
+            f"attempt(s): {worker_traceback}",
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.shard, self.worker_traceback, self.attempts))
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryEvent:
+    """One supervised restart of a dead shard worker."""
+
+    shard: int
+    #: 1-based restart attempt for this shard (monotonic across deaths).
+    attempt: int
+    backoff_seconds: float
+    #: In-flight sub-batches re-submitted FIFO after the respawn.
+    resubmitted_batches: int
+    #: The death as the parent observed it (exitcode detail).
+    death_detail: str
+    healed: bool
+    recovery_seconds: float
+
+
+class RecoveryLog:
+    """Append-only record of every supervised worker recovery."""
+
+    def __init__(self) -> None:
+        self.events: List[RecoveryEvent] = []
+
+    def record(self, event: RecoveryEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def for_shard(self, shard: int) -> List[RecoveryEvent]:
+        """Recovery events for one shard, oldest first."""
+        return [event for event in self.events if event.shard == shard]
+
+    @property
+    def healed(self) -> List[RecoveryEvent]:
+        """Restarts that brought the shard back."""
+        return [event for event in self.events if event.healed]
 
 
 def shard_of(entity: str, n_shards: int) -> int:
@@ -151,7 +230,11 @@ def _shard_worker_main(factory, connection) -> None:
     ``(hits, busy_seconds)`` where ``hits`` are ``(position,
     detection)`` pairs indexed into the sub-batch and ``busy_seconds``
     is the CPU time the unpack+observe loop consumed (used by the
-    sharding benchmark's critical-path metric).
+    sharding benchmark's critical-path metric).  ``snapshot`` replies
+    with the pickled detector replica; ``restore`` replaces the
+    replica with an unpickled snapshot (clearing any recorded factory
+    failure, so a supervisor can restore into a worker whose factory
+    crashed at spawn).
     """
     try:
         failure: Optional[str] = None
@@ -164,6 +247,14 @@ def _shard_worker_main(factory, connection) -> None:
             if command == "close":
                 connection.send(("ok", None))
                 return
+            if command == "restore":
+                try:
+                    detector = pickle.loads(payload)
+                    failure = None
+                    connection.send(("ok", None))
+                except Exception:
+                    connection.send(("error", traceback.format_exc()))
+                continue
             if failure is not None:
                 connection.send(("error", failure))
                 continue
@@ -182,6 +273,8 @@ def _shard_worker_main(factory, connection) -> None:
                 elif command == "reset":
                     detector.reset()
                     connection.send(("ok", None))
+                elif command == "snapshot":
+                    connection.send(("ok", pickle.dumps(detector)))
                 else:  # defensive: unknown verbs must not wedge the parent
                     connection.send(("ok", None))
             except Exception:
@@ -226,37 +319,80 @@ class _ProcessShard:
                 raise
             return False
 
-    def receive(self) -> Tuple[str, object]:
-        """One status-tagged reply; a dead worker becomes an error reply.
+    def receive(self, timeout: Optional[float] = None) -> Tuple[str, object]:
+        """One status-tagged reply; a dead worker becomes a ``dead`` reply.
 
         Translating ``EOFError`` (worker process gone without replying,
-        e.g. killed or ``os._exit``) into an ``("error", ...)`` reply
-        here means every failure mode surfaces to callers as the same
-        typed :class:`ShardWorkerError` instead of a bare pipe error
-        with the root cause lost.
+        e.g. killed or ``os._exit``) into a ``("dead", detail)`` reply
+        here means every failure mode surfaces to callers through the
+        same status-tagged channel instead of a bare pipe error with
+        the root cause lost; callers map it to the typed
+        :class:`ShardWorkerError` (or heal the shard, under a
+        ``restore`` restart policy).  With ``timeout`` set the wait is
+        bounded: a wedged (alive but unresponsive) worker produces a
+        ``("timeout", detail)`` reply instead of blocking forever.
         """
         try:
+            if timeout is not None and not self.connection.poll(timeout):
+                return (
+                    "timeout",
+                    f"shard worker did not reply within {timeout:.1f}s",
+                )
             return self.connection.recv()
         except (EOFError, OSError):
             self.process.join(timeout=1.0)
             return (
-                "error",
+                "dead",
                 f"shard worker process died without replying "
                 f"(exitcode {self.process.exitcode})",
             )
 
-    def close(self) -> None:
+    def reap(self) -> None:
+        """Dispose of a dead (or dying) worker without a close handshake."""
+        try:
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():  # pragma: no cover - defensive
+                self.process.kill()
+                self.process.join(timeout=1.0)
+        finally:
+            try:
+                self.connection.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    def close(self, timeout: float = 5.0) -> str:
+        """Shut the worker down; returns the escalation outcome.
+
+        ``"clean"``: the close handshake (or a worker already dead)
+        needed no force.  ``"terminated"``: the worker ignored the
+        handshake for ``timeout`` seconds and needed SIGTERM.
+        ``"killed"``: it survived SIGTERM too and was SIGKILLed.  The
+        bounded handshake is what makes pool shutdown deadlock-free: a
+        wedged worker (stuck inside a detector) can stall ``close()``
+        by at most a few multiples of ``timeout``, never forever.
+        """
+        outcome = "clean"
         try:
             if self.process.is_alive():
-                self.send("close")
-                self.receive()
-            self.process.join(timeout=5.0)
+                delivered = self.send("close")
+                if delivered and self.connection.poll(timeout):
+                    self.connection.recv()
+            self.process.join(timeout=timeout)
         except (BrokenPipeError, EOFError, OSError):
             pass
-        finally:
+        if self.process.is_alive():
+            outcome = "terminated"
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+            if self.process.is_alive():  # pragma: no cover - hard to force
+                outcome = "killed"
+                self.process.kill()
+                self.process.join(timeout=timeout)
+        try:
             self.connection.close()
-            if self.process.is_alive():  # pragma: no cover - defensive
-                self.process.terminate()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        return outcome
 
 
 class _PendingBatch:
@@ -283,6 +419,28 @@ class _PendingBatch:
         self.error: Optional[ShardWorkerError] = None
 
 
+@dataclasses.dataclass(frozen=True)
+class PoolCloseResult:
+    """What :meth:`ShardedDetectorPool.close` had to do to shut down.
+
+    ``escalations`` holds one outcome per worker (``"clean"`` /
+    ``"terminated"`` / ``"killed"``, see :meth:`_ProcessShard.close`);
+    serial pools -- a true no-op close -- report an empty tuple.
+    ``drained_batches`` counts submitted-but-uncollected batches whose
+    replies were discarded by the shutdown.
+    """
+
+    backend: str
+    escalations: Tuple[str, ...] = ()
+    drained_batches: int = 0
+    already_closed: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """Whether no worker needed force to shut down."""
+        return all(outcome == "clean" for outcome in self.escalations)
+
+
 class ShardedDetectorPool:
     """Entity-sharded detection layer satisfying the ``Detector`` protocol.
 
@@ -296,6 +454,29 @@ class ShardedDetectorPool:
         Number of independent shards (>= 1).
     backend:
         ``"serial"`` or ``"process"`` (see module docstring).
+    restart_policy:
+        What worker death does to the pool (process backend only).
+        ``"raise"`` (default): the death surfaces as a typed
+        :class:`ShardWorkerError` at collect time -- the pre-existing
+        contract.  ``"restore"``: the pool *supervises* its workers --
+        on death it respawns the worker with bounded exponential
+        backoff, restores the last per-shard detector snapshot, and
+        re-submits the lost in-flight sub-batches in FIFO order, so
+        the caller sees the same detections an uninterrupted run
+        produces; every restart is recorded in :attr:`recovery_log`.
+        Deterministically fatal inputs (a sub-batch that kills the
+        worker on every replay) burn through ``max_restarts`` and then
+        raise :class:`ShardRecoveryError`.
+    max_restarts:
+        Per-shard restart budget under ``restart_policy="restore"``.
+    backoff_base:
+        First restart waits ``backoff_base`` seconds, each further
+        attempt doubles it (exponential backoff).
+    snapshot_every:
+        Refresh a shard's recovery snapshot after this many observed
+        sub-batches since the last snapshot (``1`` = after every
+        collected batch; larger values trade snapshot cost for a
+        longer FIFO replay after a death).
 
     The pool accumulates the merged detection stream itself, so
     ``pool.detections`` is equivalent to the unsharded detector's
@@ -308,13 +489,32 @@ class ShardedDetectorPool:
         *,
         n_shards: int = 1,
         backend: str = "serial",
+        restart_policy: str = "raise",
+        max_restarts: int = 3,
+        backoff_base: float = 0.05,
+        snapshot_every: int = 1,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}")
+        if restart_policy not in RESTART_POLICIES:
+            raise ValueError(f"restart_policy must be one of {RESTART_POLICIES}")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
         self.n_shards = int(n_shards)
         self.backend = backend
+        self.restart_policy = restart_policy
+        self.max_restarts = int(max_restarts)
+        self.backoff_base = float(backoff_base)
+        self.snapshot_every = int(snapshot_every)
+        #: Every supervised worker recovery ever performed (survives
+        #: reset/reopen: it is an operations log, not pool state).
+        self.recovery_log = RecoveryLog()
         self.detector_factory = detector_factory
         self._detections: List[Detection] = []
         # entity -> shard memo; `shard_of()` stays the documented source
@@ -330,7 +530,11 @@ class ShardedDetectorPool:
         self.shards: List[Detector] = []
         self._workers: List[_ProcessShard] = []
         self._pending: Deque[_PendingBatch] = collections.deque()
+        #: Most batches ever simultaneously in flight (submitted,
+        #: uncollected) -- checkpointed as service telemetry.
+        self.inflight_high_water = 0
         self._closed = False
+        self._reset_supervision()
         if backend == "serial":
             self.shards = [detector_factory() for _ in range(self.n_shards)]
         else:
@@ -357,9 +561,42 @@ class ShardedDetectorPool:
         *,
         n_shards: int = 1,
         backend: str = "serial",
+        restart_policy: str = "raise",
+        max_restarts: int = 3,
+        backoff_base: float = 0.05,
+        snapshot_every: int = 1,
     ) -> "ShardedDetectorPool":
         """Pool whose shards are clones of a pristine template detector."""
-        return cls(DetectorTemplate(detector), n_shards=n_shards, backend=backend)
+        return cls(
+            DetectorTemplate(detector),
+            n_shards=n_shards,
+            backend=backend,
+            restart_policy=restart_policy,
+            max_restarts=max_restarts,
+            backoff_base=backoff_base,
+            snapshot_every=snapshot_every,
+        )
+
+    @property
+    def _supervised(self) -> bool:
+        """Whether worker deaths are healed instead of raised."""
+        return self.backend == "process" and self.restart_policy == "restore"
+
+    def _reset_supervision(self) -> None:
+        """Pristine supervision bookkeeping (fresh pool / reset / reopen).
+
+        ``_shard_snapshots[s]`` is the pickled detector state to
+        restore a respawned worker from (``None`` = pristine factory
+        state); ``_replay_log[s]`` holds the packed sub-batch payloads
+        observed since that snapshot (acked and unacked), in FIFO
+        order; ``_unacked[s]`` counts replies the worker still owes.
+        """
+        self._shard_snapshots: List[Optional[bytes]] = [None] * self.n_shards
+        self._replay_log: List[Deque] = [
+            collections.deque() for _ in range(self.n_shards)
+        ]
+        self._unacked: List[int] = [0] * self.n_shards
+        self._restarts_used: List[int] = [0] * self.n_shards
 
     #: Entity->shard memo entries kept before the cache is dropped and
     #: rebuilt (bounds parent-process memory on high-cardinality
@@ -466,10 +703,15 @@ class ShardedDetectorPool:
             sent: List[int] = []
             try:
                 for shard in active:
-                    delivered = self._workers[shard].send(
-                        "observe", pack_alert_columns(sub_batches[shard])
-                    )
+                    packed = pack_alert_columns(sub_batches[shard])
+                    delivered = self._workers[shard].send("observe", packed)
                     sent.append(shard)
+                    if self._supervised:
+                        # Remember the payload whether or not the send
+                        # reached a live worker: a swallowed send to a
+                        # dead worker is exactly what the heal replays.
+                        self._replay_log[shard].append(packed)
+                        self._unacked[shard] += 1
                     if delivered:
                         self.alerts_routed[shard] += len(sub_batches[shard])
             except Exception:
@@ -481,6 +723,8 @@ class ShardedDetectorPool:
                 # then surface the original error.
                 for shard in sent:
                     status, payload = self._workers[shard].receive()
+                    if self._supervised and self._unacked[shard] > 0:
+                        self._unacked[shard] -= 1
                     if status == "ok":
                         self.busy_seconds[shard] += payload[1]
                 raise
@@ -503,6 +747,8 @@ class ShardedDetectorPool:
                 finally:
                     self.busy_seconds[shard] += time.perf_counter() - started
         self._pending.append(ticket)
+        if len(self._pending) > self.inflight_high_water:
+            self.inflight_high_water = len(self._pending)
         return ticket
 
     def collect(self, ticket: Optional[_PendingBatch] = None) -> list[Detection]:
@@ -526,10 +772,15 @@ class ShardedDetectorPool:
         ticket = self._pending.popleft()
         if self.backend == "process":
             for shard in ticket.active:
-                status, payload = self._workers[shard].receive()
-                if status == "error":
+                status, payload = self._receive_reply(shard)
+                if status != "ok":
                     if ticket.error is None:
-                        ticket.error = ShardWorkerError(shard, str(payload))
+                        if status == "unrecovered":
+                            ticket.error = ShardRecoveryError(
+                                shard, str(payload), self._restarts_used[shard]
+                            )
+                        else:
+                            ticket.error = ShardWorkerError(shard, str(payload))
                     continue
                 shard_hits, busy = payload
                 self.busy_seconds[shard] += busy
@@ -537,6 +788,9 @@ class ShardedDetectorPool:
                     (ticket.positions[shard][local], detection)
                     for local, detection in shard_hits
                 )
+            if self._supervised and ticket.error is None:
+                for shard in ticket.active:
+                    self._maybe_refresh_snapshot(shard)
         if ticket.error is not None:
             raise ticket.error
         ticket.hits.sort(key=lambda item: item[0])
@@ -544,13 +798,165 @@ class ShardedDetectorPool:
         self._detections.extend(merged)
         return merged
 
-    def _drain_pending(self) -> None:
-        """Read every outstanding reply, discarding results and errors."""
+    # -- supervised recovery ----------------------------------------------
+    def _receive_reply(self, shard: int) -> Tuple[str, object]:
+        """One observe reply for a shard, healing dead workers if supervised.
+
+        Returns the worker's status-tagged reply; under
+        ``restart_policy="restore"`` a ``dead`` reply triggers the
+        respawn/restore/replay loop and the returned reply is the
+        healed worker's answer for the same sub-batch.  ``unrecovered``
+        means the restart budget is exhausted.  Acknowledgement
+        bookkeeping for the supervision replay log happens here, so
+        every exit path stays consistent.
+        """
+        status, payload = self._workers[shard].receive()
+        if status == "dead" and self._supervised:
+            status, payload = self._heal_shard(shard, str(payload))
+        if self._supervised:
+            if status in ("ok", "error"):
+                # The worker replied: the oldest in-flight payload is
+                # acknowledged (it stays in the replay log until the
+                # next snapshot refresh).
+                if self._unacked[shard] > 0:
+                    self._unacked[shard] -= 1
+            else:
+                # Unrecovered death: nobody owes replies any more, and
+                # replaying this log can never succeed -- drop it so a
+                # caller that keeps driving the pool is not charged
+                # for it again.
+                self._replay_log[shard].clear()
+                self._unacked[shard] = 0
+        return status, payload
+
+    def _heal_shard(self, shard: int, death_detail: str) -> Tuple[str, object]:
+        """Respawn a dead worker and replay its lost in-flight sub-batches.
+
+        Bounded by ``max_restarts`` with exponential backoff.  On
+        success returns the healed worker's reply for the oldest
+        *unacknowledged* sub-batch (the one the caller is collecting);
+        already-acknowledged replayed batches only contribute busy
+        telemetry (their detections were merged before the death --
+        the worker genuinely redoes the work, so the busy seconds are
+        truthfully accumulated twice).  Returns ``("unrecovered",
+        detail)`` once the budget is exhausted.
+        """
+        while self._restarts_used[shard] < self.max_restarts:
+            attempt = self._restarts_used[shard] + 1
+            self._restarts_used[shard] = attempt
+            backoff = self.backoff_base * (2.0 ** (attempt - 1))
+            if backoff > 0:
+                time.sleep(backoff)
+            started = time.perf_counter()
+            self._workers[shard].reap()
+            healed = False
+            reply: Optional[Tuple[str, object]] = None
+            try:
+                worker: Optional[_ProcessShard] = _ProcessShard(
+                    shard, self.detector_factory
+                )
+            except Exception:  # pragma: no cover - spawn failure
+                worker = None
+            if worker is not None:
+                self._workers[shard] = worker
+                reply, healed = self._replay_into(worker, shard)
+            self.recovery_log.record(
+                RecoveryEvent(
+                    shard=shard,
+                    attempt=attempt,
+                    backoff_seconds=backoff,
+                    resubmitted_batches=len(self._replay_log[shard]),
+                    death_detail=death_detail,
+                    healed=healed,
+                    recovery_seconds=time.perf_counter() - started,
+                )
+            )
+            if healed:
+                assert reply is not None
+                return reply
+        return ("unrecovered", death_detail)
+
+    def _replay_into(
+        self, worker: _ProcessShard, shard: int
+    ) -> Tuple[Optional[Tuple[str, object]], bool]:
+        """Restore a respawned worker and re-drive the shard's replay log.
+
+        Restores the last snapshot (pristine factory state if none was
+        taken yet), re-submits every logged payload in FIFO order, and
+        consumes replies up to and including the oldest unacknowledged
+        one -- replies for *newer* unacknowledged payloads are left on
+        the pipe for the collects that own them.  Returns ``(reply,
+        True)`` on success, ``(None, False)`` if the fresh worker died
+        too (the caller retries within the restart budget).
+        """
+        if self._shard_snapshots[shard] is not None:
+            if not worker.send("restore", self._shard_snapshots[shard]):
+                return None, False
+            status, _ = worker.receive()
+            if status != "ok":
+                return None, False
+        log = self._replay_log[shard]
+        for payload in log:
+            if not worker.send("observe", payload):
+                return None, False
+        acked_replays = len(log) - self._unacked[shard]
+        reply: Optional[Tuple[str, object]] = None
+        for position in range(acked_replays + 1):
+            status, payload = worker.receive()
+            if status in ("dead", "timeout"):
+                return None, False
+            if position < acked_replays:
+                if status == "ok":
+                    self.busy_seconds[shard] += payload[1]
+            else:
+                reply = (status, payload)
+        return reply, True
+
+    def _maybe_refresh_snapshot(self, shard: int) -> None:
+        """Refresh a shard's recovery snapshot once it is safe and due.
+
+        Safe: the worker owes no replies (a snapshot taken with
+        observes still queued would not include them, yet the replay
+        log holding them would be cleared).  Due: ``snapshot_every``
+        sub-batches accumulated since the last snapshot.
+        """
+        if self._unacked[shard] != 0:
+            return
+        if len(self._replay_log[shard]) < self.snapshot_every:
+            return
+        self._refresh_snapshot_now(shard)
+
+    def _refresh_snapshot_now(self, shard: int) -> None:
+        """Snapshot one shard's detector and clear its replay log.
+
+        Best-effort: on any failure (worker just died, snapshot
+        unpicklable) the previous snapshot and replay log are kept --
+        they still reconstruct the same state, just more slowly.
+        """
+        worker = self._workers[shard]
+        if not worker.send("snapshot"):
+            return
+        status, payload = worker.receive()
+        if status == "ok":
+            self._shard_snapshots[shard] = payload
+            self._replay_log[shard].clear()
+
+    def _drain_pending(self, timeout: Optional[float] = None) -> int:
+        """Read every outstanding reply, discarding results and errors.
+
+        Returns the number of batches drained.  With ``timeout`` set,
+        each reply wait is bounded -- a wedged worker costs at most
+        ``timeout`` seconds per expected reply instead of hanging the
+        shutdown forever (the caller escalates to terminate/kill right
+        after).
+        """
+        drained = len(self._pending)
         while self._pending:
             ticket = self._pending.popleft()
             if self.backend == "process":
                 for shard in ticket.active:
-                    self._workers[shard].receive()
+                    self._workers[shard].receive(timeout=timeout)
+        return drained
 
     def _require_idle(self, operation: str) -> None:
         if self._closed:
@@ -593,10 +999,15 @@ class ShardedDetectorPool:
                 worker.send("reset")
             for worker in self._workers:
                 status, payload = worker.receive()
-                if status == "error" and error is None:
+                if status != "ok" and error is None:
                     error = ShardWorkerError(worker.index, str(payload))
         if error is not None:
             raise error
+        if self._supervised:
+            # Every shard is back to factory-pristine state: discard the
+            # snapshots (None means "pristine factory" to the healer) so
+            # a later heal cannot resurrect pre-reset entity state.
+            self._reset_supervision()
 
     def reset_entity(self, entity: str) -> None:
         """Forget one entity on the shard that owns it."""
@@ -612,8 +1023,115 @@ class ShardedDetectorPool:
         else:
             self._workers[shard].send("reset_entity", entity)
             status, payload = self._workers[shard].receive()
-            if status == "error":
+            if status != "ok":
                 raise ShardWorkerError(shard, str(payload))
+            if self._supervised:
+                # The old snapshot still contains the entity; refresh it
+                # so a later heal cannot resurrect the forgotten state.
+                self._refresh_snapshot_now(shard)
+
+    # -- checkpointing -----------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Capture the pool's full state for a pipeline checkpoint.
+
+        Returns a picklable mapping: one pickled detector blob per
+        shard (serial shards are pickled in place; process shards
+        answer the ``snapshot`` verb) plus the pool-level records
+        (recorded detections, routing memo, busy telemetry).  Requires
+        an idle pool -- a snapshot with submitted batches in flight
+        would be neither before nor after them.
+        """
+        self._require_idle("snapshot_state")
+        blobs: List[bytes] = []
+        if self.backend == "serial":
+            for shard, detector in enumerate(self.shards):
+                try:
+                    blobs.append(pickle.dumps(detector, pickle.HIGHEST_PROTOCOL))
+                except Exception as exc:
+                    error = ShardWorkerError(shard, traceback.format_exc())
+                    error.__cause__ = exc
+                    raise error
+        else:
+            delivered = [worker.send("snapshot") for worker in self._workers]
+            error = None
+            for worker, sent in zip(self._workers, delivered):
+                if not sent:
+                    if error is None:
+                        error = ShardWorkerError(
+                            worker.index, "shard worker pipe closed before snapshot"
+                        )
+                    continue
+                status, payload = worker.receive()
+                if status != "ok":
+                    if error is None:
+                        error = ShardWorkerError(worker.index, str(payload))
+                    continue
+                blobs.append(payload)
+            if error is not None:
+                raise error
+        return {
+            "n_shards": self.n_shards,
+            "backend": self.backend,
+            "shards": blobs,
+            "detections": list(self._detections),
+            "alerts_routed": list(self.alerts_routed),
+            "busy_seconds": list(self.busy_seconds),
+            "inflight_high_water": self.inflight_high_water,
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Load a :meth:`snapshot_state` mapping back into this pool.
+
+        The pool must be idle and configured identically (same shard
+        count and backend) to the snapshotted one.  Serial shards are
+        restored *in place* (``__dict__`` swap) so facade pools built
+        with :meth:`wrap` keep handing out the caller's original
+        detector object; process shards receive the ``restore`` verb.
+        Under supervision the restored blobs become the recovery
+        snapshots.
+        """
+        self._require_idle("restore_state")
+        if state["n_shards"] != self.n_shards or state["backend"] != self.backend:
+            raise ValueError(
+                "checkpoint was taken with n_shards="
+                f"{state['n_shards']} backend={state['backend']!r}; this pool "
+                f"has n_shards={self.n_shards} backend={self.backend!r}"
+            )
+        blobs = list(state["shards"])
+        if self.backend == "serial":
+            for shard, blob in enumerate(blobs):
+                restored = pickle.loads(blob)
+                current = self.shards[shard]
+                if type(restored) is type(current):
+                    current.__dict__.clear()
+                    current.__dict__.update(restored.__dict__)
+                else:  # pragma: no cover - heterogeneous replica swap
+                    self.shards[shard] = restored
+        else:
+            delivered = [
+                worker.send("restore", blob)
+                for worker, blob in zip(self._workers, blobs)
+            ]
+            error = None
+            for worker, sent in zip(self._workers, delivered):
+                if not sent:
+                    if error is None:
+                        error = ShardWorkerError(
+                            worker.index, "shard worker pipe closed before restore"
+                        )
+                    continue
+                status, payload = worker.receive()
+                if status != "ok" and error is None:
+                    error = ShardWorkerError(worker.index, str(payload))
+            if error is not None:
+                raise error
+        self._detections[:] = list(state["detections"])
+        self.alerts_routed = list(state["alerts_routed"])
+        self.busy_seconds = list(state["busy_seconds"])
+        self.inflight_high_water = int(state["inflight_high_water"])
+        if self._supervised:
+            self._reset_supervision()
+            self._shard_snapshots = [bytes(blob) for blob in blobs]
 
     # -- lifecycle ---------------------------------------------------------
     def reopen(self) -> None:
@@ -633,7 +1151,7 @@ class ShardedDetectorPool:
         pool that resets the caller's own detector instance, which is
         exactly what "the detection tier restarted" means there).
         """
-        self._drain_pending()
+        self._drain_pending(timeout=5.0)
         if self.backend == "process":
             # Mark closed before touching the workers: if a respawn
             # below fails, the pool must reject batches as closed, not
@@ -654,10 +1172,11 @@ class ShardedDetectorPool:
             self._workers = fresh
             self._closed = False
             self._clear_pool_state()
+            self._reset_supervision()
         else:
             self.reset()
 
-    def close(self) -> None:
+    def close(self, *, timeout: float = 5.0) -> PoolCloseResult:
         """Shut down worker processes (idempotent).
 
         Serial pools are a true no-op: they have no workers and remain
@@ -665,14 +1184,29 @@ class ShardedDetectorPool:
         still-uncollected submitted batches are drained (their results
         discarded) so the shutdown handshake never races a pending
         reply.
+
+        Every wait -- pending-reply drain, shutdown handshake, process
+        join -- is bounded by ``timeout`` seconds, and a worker that
+        does not exit cooperatively is escalated ``terminate`` then
+        ``kill``, so a hung or wedged worker can never deadlock
+        shutdown.  The returned :class:`PoolCloseResult` records the
+        per-shard escalation outcomes.
         """
-        if self.backend != "process" or self._closed:
-            return
-        self._drain_pending()
+        if self.backend != "process":
+            return PoolCloseResult(backend=self.backend, escalations=())
+        if self._closed:
+            return PoolCloseResult(
+                backend=self.backend, escalations=(), already_closed=True
+            )
+        drained = self._drain_pending(timeout=timeout)
         self._closed = True
-        for worker in self._workers:
-            worker.close()
+        escalations = tuple(worker.close(timeout=timeout) for worker in self._workers)
         self._workers = []
+        return PoolCloseResult(
+            backend=self.backend,
+            escalations=escalations,
+            drained_batches=drained,
+        )
 
     def __enter__(self) -> "ShardedDetectorPool":
         return self
@@ -690,7 +1224,12 @@ class ShardedDetectorPool:
 __all__ = [
     "BACKENDS",
     "DetectorTemplate",
+    "PoolCloseResult",
+    "RecoveryEvent",
+    "RecoveryLog",
+    "RESTART_POLICIES",
     "ShardedDetectorPool",
+    "ShardRecoveryError",
     "ShardWorkerError",
     "shard_of",
 ]

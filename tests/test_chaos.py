@@ -1,0 +1,188 @@
+"""Chaos suite: crash semantics under injected faults.
+
+Two layers of coverage:
+
+* the :mod:`repro.fuzz.chaos` oracle itself -- pinned seeded campaigns
+  must pass every fault leg, and deliberately-broken fault plans must
+  *fail* (the oracle is sensitive, not vacuous);
+* direct supervised-recovery semantics on :class:`ShardedDetectorPool`
+  -- a SIGKILLed worker under ``restart_policy="restore"`` heals with
+  bit-identical detections and an audit trail in the recovery log,
+  while a worker that dies deterministically on replay exhausts its
+  restart budget and surfaces :class:`ShardRecoveryError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.core import AttackTagger
+from repro.core.alerts import Alert
+from repro.incidents import DEFAULT_CATALOGUE
+from repro.fuzz import ChaosComposer, ChaosOracle
+from repro.testbed import (
+    ShardRecoveryError,
+    ShardWorkerError,
+    ShardedDetectorPool,
+    shard_of,
+)
+
+_PATTERNS = list(DEFAULT_CATALOGUE)
+
+
+def _tagger_factory():
+    """Module-level (picklable) factory for process shard workers."""
+    return AttackTagger(patterns=list(DEFAULT_CATALOGUE))
+
+
+class ExitingDetector:
+    """Dies with ``os._exit`` on a chosen alert name: a hard crash that
+    recurs on every replay, so supervised recovery can never succeed."""
+
+    def __init__(self, poison_name: str = "alert_outbound_c2") -> None:
+        self.poison_name = poison_name
+        self.observed = 0
+
+    @property
+    def detections(self) -> list:
+        return []
+
+    def observe(self, alert):
+        if alert.name == self.poison_name:
+            os._exit(3)
+        self.observed += 1
+        return None
+
+    def observe_batch(self, alerts):
+        for alert in alerts:
+            self.observe(alert)
+        return []
+
+    def reset(self) -> None:
+        self.observed = 0
+
+    def reset_entity(self, entity: str) -> None:
+        pass
+
+    def clone(self) -> "ExitingDetector":
+        return ExitingDetector(self.poison_name)
+
+
+def _exiting_factory():
+    return ExitingDetector()
+
+
+def _attack_stream(*, length: int = 96, entities: int = 8) -> list[Alert]:
+    """Deterministic interleaved attack chains over several entities."""
+    queues = {
+        f"user:u{index:02d}": list(_PATTERNS[index % len(_PATTERNS)].names)
+        for index in range(entities)
+    }
+    names = list(queues)
+    stream: list[Alert] = []
+    for step in range(length):
+        entity = names[step % len(names)]
+        queue = queues[entity]
+        if not queue:
+            queue.extend(_PATTERNS[(step // len(names)) % len(_PATTERNS)].names)
+        stream.append(Alert(float(step), queue.pop(0), entity))
+    return stream
+
+
+class TestChaosOracleGate:
+    """The pinned seeded campaigns the CI quick-chaos gate replays."""
+
+    @pytest.mark.parametrize("index", [0, 1, 2])
+    def test_pinned_campaign_passes_every_leg(self, index, tmp_path):
+        composer = ChaosComposer(0, target_alerts=100)
+        campaign, plans = composer.compose(index)
+        verdict = ChaosOracle(workdir=tmp_path).run(campaign, plans)
+        assert verdict.legs_run == len(plans) > 0
+        assert verdict.ok, [str(f) for f in verdict.failures]
+
+    def test_oracle_rejects_an_unobserved_kill(self, tmp_path):
+        """Negative control: if the fault never fires, the leg must FAIL."""
+        composer = ChaosComposer(0, target_alerts=100)
+        campaign, plans = composer.compose(0)
+        kill = next(plan for plan in plans if plan.kind == "kill")
+        never_fires = dataclasses.replace(kill, kill_batch=10**6)
+        verdict = ChaosOracle(workdir=tmp_path).run(campaign, [never_fires])
+        assert not verdict.ok
+        assert any("never surfaced" in str(f) for f in verdict.failures)
+
+    def test_oracle_rejects_an_exhausted_heal(self, tmp_path):
+        """Negative control: zero restart budget makes the heal leg fail."""
+        composer = ChaosComposer(0, target_alerts=100)
+        campaign, plans = composer.compose(0)
+        heal = next(plan for plan in plans if plan.kind == "heal")
+        no_budget = dataclasses.replace(heal, max_restarts=0)
+        verdict = ChaosOracle(workdir=tmp_path).run(campaign, [no_budget])
+        assert not verdict.ok
+
+
+class TestSupervisedHealing:
+    def test_sigkilled_worker_heals_bit_identically(self):
+        stream = _attack_stream()
+        routed = {shard_of(alert.entity, 2) for alert in stream}
+        assert routed == {0, 1}, "stream must exercise both shards"
+
+        reference_pool = ShardedDetectorPool(_tagger_factory, n_shards=2)
+        supervised = ShardedDetectorPool(
+            _tagger_factory,
+            n_shards=2,
+            backend="process",
+            restart_policy="restore",
+            backoff_base=0.001,
+        )
+        try:
+            expected, healed = [], []
+            batches = [stream[start : start + 24] for start in range(0, 96, 24)]
+            for index, batch in enumerate(batches):
+                expected.extend(reference_pool.observe_batch(batch))
+                healed.extend(supervised.observe_batch(batch))
+                if index == 1:
+                    worker = supervised._workers[1]
+                    worker.process.kill()
+                    worker.process.join(5.0)
+            assert healed == expected
+            recoveries = supervised.recovery_log.for_shard(1)
+            assert recoveries, "the SIGKILL restart must be audited"
+            assert recoveries[-1].healed
+            assert recoveries[-1].attempt >= 1
+        finally:
+            result = supervised.close()
+        assert result.clean, result
+
+    def test_restart_budget_exhaustion_raises_recovery_error(self):
+        pool = ShardedDetectorPool(
+            _exiting_factory,
+            n_shards=1,
+            backend="process",
+            restart_policy="restore",
+            max_restarts=2,
+            backoff_base=0.001,
+        )
+        try:
+            benign = [Alert(float(i), "alert_port_scan", "host:h0") for i in range(6)]
+            pool.observe_batch(benign)
+            poison = benign + [Alert(9.0, "alert_outbound_c2", "host:h0")]
+            with pytest.raises(ShardRecoveryError) as excinfo:
+                pool.observe_batch(poison)
+            error = excinfo.value
+            assert error.shard == 0
+            assert error.attempts == 2
+            assert "died without replying" in error.worker_traceback
+            attempts = pool.recovery_log.for_shard(0)
+            assert len(attempts) == 2
+            assert not any(event.healed for event in attempts)
+        finally:
+            pool.close()
+
+    def test_recovery_error_is_still_a_shard_worker_error(self):
+        error = ShardRecoveryError(3, "detail text", 2)
+        assert isinstance(error, ShardWorkerError)
+        assert isinstance(error, RuntimeError)
+        assert "unrecovered after 2" in str(error)

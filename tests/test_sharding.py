@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 
 import numpy as np
 import pytest
@@ -29,6 +30,8 @@ from repro.core.alerts import Alert, DEFAULT_VOCABULARY
 from repro.core.states import AttackStage
 from repro.incidents import DEFAULT_CATALOGUE
 from repro.testbed import (
+    PoolCloseResult,
+    ShardRecoveryError,
     ShardedDetectorPool,
     ShardWorkerError,
     TestbedPipeline,
@@ -611,6 +614,137 @@ class TestNonBlockingFanOut:
         assert pool.pending_batches == 0
         with pytest.raises(RuntimeError, match="closed"):
             pool.observe_batch(_benign_alerts(4))
+
+
+class SleepingDetector(PoisonDetector):
+    """Wedges (sleeps) instead of raising on the poison alert.
+
+    Simulates a worker stuck in a detector -- the case ``close()``'s
+    join-timeout escalation exists for.
+    """
+
+    def observe(self, alert):
+        if alert.name == self.poison_name:
+            time.sleep(60.0)
+        self.observed += 1
+        return None
+
+    def clone(self) -> "SleepingDetector":
+        return SleepingDetector(self.poison_name)
+
+
+class TestErrorPickleRoundTrip:
+    """Shard errors must survive pickling (pipes, repro files) exactly."""
+
+    def test_shard_worker_error_round_trips(self):
+        original = ShardWorkerError(5, "Traceback ...\nValueError: boom")
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is ShardWorkerError
+        assert clone.shard == original.shard
+        assert clone.worker_traceback == original.worker_traceback
+        assert str(clone) == str(original)
+
+    def test_shard_recovery_error_round_trips(self):
+        original = ShardRecoveryError(2, "worker process died (exitcode -9)", 3)
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is ShardRecoveryError
+        assert clone.shard == 2
+        assert clone.worker_traceback == "worker process died (exitcode -9)"
+        assert clone.attempts == 3
+        assert str(clone) == str(original)
+
+    def test_live_crash_error_round_trips(self):
+        """An error raised by a real worker crash survives pickling."""
+        with ShardedDetectorPool(
+            lambda: PoisonDetector("alert_outbound_c2"), n_shards=2
+        ) as pool:
+            poisoned = _benign_alerts(4) + [
+                Alert(99.0, "alert_outbound_c2", "host:h0")
+            ]
+            with pytest.raises(ShardWorkerError) as excinfo:
+                pool.observe_batch(poisoned)
+        clone = pickle.loads(pickle.dumps(excinfo.value))
+        assert clone.shard == excinfo.value.shard
+        assert clone.worker_traceback == excinfo.value.worker_traceback
+
+
+class TestSerialReopenAfterCrash:
+    def test_serial_pool_reopens_pristine_after_detector_crash(self):
+        pool = ShardedDetectorPool(
+            lambda: PoisonDetector("alert_outbound_c2"), n_shards=2
+        )
+        benign = _benign_alerts(8)
+        pool.observe_batch(benign)
+        with pytest.raises(ShardWorkerError):
+            pool.observe_batch([Alert(50.0, "alert_outbound_c2", "host:h0")])
+        pool.reopen()
+        assert not pool.closed
+        assert pool.alerts_routed == [0] * 2, "telemetry zeroed by reopen"
+        assert pool.observe_batch(benign) == []
+        observed = sum(shard.observed for shard in pool.shards)
+        assert observed == len(benign), "replicas are pristine, not resumed"
+
+
+class TestCloseEscalation:
+    """close() reports exactly how shutdown went (satellite: timeouts)."""
+
+    def test_serial_close_is_a_reported_noop(self):
+        pool = ShardedDetectorPool(lambda: PoisonDetector(), n_shards=2)
+        result = pool.close()
+        assert isinstance(result, PoolCloseResult)
+        assert result.backend == "serial"
+        assert result.escalations == ()
+        assert result.clean
+
+    def test_process_close_reports_one_clean_outcome_per_worker(self):
+        pool = ShardedDetectorPool.from_template(
+            AttackTagger(), n_shards=3, backend="process"
+        )
+        result = pool.close()
+        assert result.backend == "process"
+        assert result.escalations == ("clean",) * 3
+        assert result.clean
+        assert result.drained_batches == 0
+        assert not result.already_closed
+
+    def test_double_close_reports_already_closed(self):
+        pool = ShardedDetectorPool.from_template(
+            AttackTagger(), n_shards=2, backend="process"
+        )
+        assert not pool.close().already_closed
+        again = pool.close()
+        assert again.already_closed
+        assert again.escalations == ()
+
+    def test_close_counts_drained_batches(self):
+        pool = ShardedDetectorPool.from_template(
+            AttackTagger(patterns=list(DEFAULT_CATALOGUE)),
+            n_shards=2,
+            backend="process",
+        )
+        pool.submit_batch(_benign_alerts(8))
+        pool.submit_batch(_benign_alerts(8))
+        result = pool.close()
+        assert result.drained_batches == 2
+        assert result.clean
+
+    def test_wedged_worker_is_escalated_not_waited_for(self):
+        """A worker stuck in a detector must be terminated, not joined
+        for the full sleep -- and the escalation must be surfaced."""
+        pool = ShardedDetectorPool.from_template(
+            SleepingDetector("alert_outbound_c2"), n_shards=2, backend="process"
+        )
+        pool.submit_batch(
+            _benign_alerts(4) + [Alert(99.0, "alert_outbound_c2", "host:h0")]
+        )
+        started = time.perf_counter()
+        result = pool.close(timeout=0.3)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 30.0, "close() must not wait out the wedged detector"
+        assert not result.clean
+        assert any(
+            outcome in ("terminated", "killed") for outcome in result.escalations
+        )
 
 
 class TestPickleSafeShardState:
