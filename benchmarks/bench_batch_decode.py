@@ -1,0 +1,323 @@
+"""Cross-entity batched decode: stacked kernel vs per-alert streaming.
+
+A sub-batch touching N entities pays N small-matrix numpy dispatches per
+semiring under ``engine="streaming"`` -- interpreter overhead, not
+arithmetic, dominates once the amortised window engine (PR 3) removed
+the O(W) work.  ``engine="batched"`` gathers the sub-batch into
+``(N, K)`` / ``(N, K, K)`` stacks and advances every entity with one
+broadcast step-matrix build plus one ``(N, K, K, K)`` reduce per
+semiring (:mod:`repro.core.batch_kernel`), with log-depth tree scans
+for the window flips and bonus-relocation refolds.  Detections are
+bit-identical to ``streaming`` (suite: ``tests/test_batch_kernel.py``;
+oracle: the full engine x shards x backend x driver matrix).
+
+This benchmark measures saturated steady-state alerts/sec over
+N ∈ {1, 8, 64, 512} entities x ``max_window`` ∈ {16, 64} on a
+background-only stream (every entity undetected and window-saturated,
+zero pattern-cursor churn -- the kernel's honest steady state), plus a
+reconnaissance-mix cell where shared per-alert Python bookkeeping
+(cursor rescans, greedy matching) caps the achievable ratio.
+
+Run as a script to (re)record ``BENCH_batchdecode.json``::
+
+    PYTHONPATH=src python benchmarks/bench_batch_decode.py
+
+CI runs the quick regression gate -- batched == streaming equivalence,
+the batched/streaming *ratio* floors at N=512 and N=64 (same-host
+ratios need no hardware calibration), and the N=1 no-regression bound::
+
+    PYTHONPATH=src python benchmarks/bench_batch_decode.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_batchdecode.json"
+
+if __name__ == "__main__":  # pragma: no cover - script mode import path
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import AttackTagger
+from repro.core.alerts import Alert, DEFAULT_VOCABULARY
+from repro.core.states import AttackStage
+from repro.incidents import DEFAULT_CATALOGUE
+
+#: Pure-background names: entities stay undetected and pattern cursors
+#: never advance, so the measurement isolates the decode kernel.
+BACKGROUND_NAMES = [
+    spec.name for spec in DEFAULT_VOCABULARY if spec.stage == AttackStage.BACKGROUND
+]
+#: Background + reconnaissance: still undetected, but cursor churn
+#: (partial-match bonuses relocating on eviction) exercises the tree
+#: -scan refold path and the shared Python bookkeeping.
+MIX_NAMES = [
+    spec.name
+    for spec in DEFAULT_VOCABULARY
+    if spec.stage in (AttackStage.BACKGROUND, AttackStage.RECONNAISSANCE)
+]
+
+
+def build_stream(
+    n_entities: int, length: int, *, names: list[str] | None = None, seed: int = 7
+) -> list[Alert]:
+    """Round-robin multi-entity stream of undetectable alerts."""
+    names = BACKGROUND_NAMES if names is None else names
+    rng = np.random.default_rng(seed)
+    drawn = [names[i] for i in rng.integers(0, len(names), size=length)]
+    return [
+        Alert(float(i), name, f"host:bench-{i % n_entities}")
+        for i, name in enumerate(drawn)
+    ]
+
+
+def measure_saturated_rate(
+    *,
+    engine: str,
+    n_entities: int,
+    max_window: int,
+    tail_alerts: int,
+    names: list[str] | None = None,
+    seed: int = 7,
+) -> float:
+    """Alerts/sec once every entity's window is saturated (warm untimed)."""
+    warm = n_entities * (max_window + 1)
+    stream = build_stream(n_entities, warm + tail_alerts, names=names, seed=seed)
+    tagger = AttackTagger(
+        patterns=list(DEFAULT_CATALOGUE), max_window=max_window, engine=engine
+    )
+    chunk = max(n_entities, 4)
+    tagger.observe_many(stream[:warm])
+    tail = stream[warm:]
+    started = time.perf_counter()
+    position = 0
+    while position < len(tail):
+        tagger.observe_many(tail[position : position + chunk])
+        position += chunk
+    elapsed = time.perf_counter() - started
+    assert not tagger.detections, "benchmark stream must stay undetected"
+    return len(tail) / elapsed
+
+
+def check_equivalence(*, max_window: int = 5, alerts: int = 600) -> None:
+    """Assert batched == streaming detections, bit for bit."""
+    rng = np.random.default_rng(13)
+    all_names = [spec.name for spec in DEFAULT_VOCABULARY]
+    entities = [f"host:eq-{i}" for i in range(9)]
+    stream = [
+        Alert(
+            float(i),
+            all_names[rng.integers(len(all_names))],
+            entities[rng.integers(len(entities))],
+        )
+        for i in range(alerts)
+    ]
+    streaming = AttackTagger(
+        patterns=list(DEFAULT_CATALOGUE), max_window=max_window, engine="streaming"
+    )
+    batched = AttackTagger(
+        patterns=list(DEFAULT_CATALOGUE), max_window=max_window, engine="batched"
+    )
+    expected = []
+    for position, alert in enumerate(stream):
+        detection = streaming.observe(alert)
+        if detection is not None:
+            expected.append((position, detection))
+    got = []
+    for base in range(0, len(stream), 32):
+        for position, detection in batched.observe_batch_indexed(
+            stream[base : base + 32]
+        ):
+            got.append((base + position, detection))
+    assert len(expected) == len(got), "detection count mismatch"
+    for (ps, ds), (pb, db) in zip(expected, got):
+        assert ps == pb, "trigger position mismatch"
+        assert ds.confidence == db.confidence, "confidence not bit-identical"
+        assert ds.state_trajectory == db.state_trajectory, "trajectory mismatch"
+        assert ds.matched_patterns == db.matched_patterns, "patterns mismatch"
+
+
+def run_benchmark(
+    *,
+    entity_counts: tuple[int, ...] = (1, 8, 64, 512),
+    windows: tuple[int, ...] = (16, 64),
+    tail_alerts: int = 16_000,
+) -> dict:
+    """Full measurement set behind ``BENCH_batchdecode.json``."""
+    results: dict = {
+        "benchmark": "batch_decode",
+        "units": "alerts_per_second",
+        "notes": (
+            "Saturated steady state, N round-robin entities, background-"
+            "only stream (undetected, zero cursor churn).  'streaming' "
+            "advances one entity per numpy dispatch; 'batched' advances "
+            "the whole sub-batch with stacked (N, K, K) semiring updates "
+            "and tree-scan window maintenance.  Detections are bit-"
+            "identical (tests/test_batch_kernel.py).  recon_mix_64_64 "
+            "adds reconnaissance names: pattern-cursor churn is shared "
+            "per-alert Python bookkeeping, so the ratio compresses."
+        ),
+        "tail_alerts": tail_alerts,
+        "cells": {},
+    }
+    def best_pair(n_entities: int, window: int, names=None) -> tuple[float, float]:
+        # Interleaved best-of-2 per engine: the host's frequency jitter
+        # moves whole runs, so alternating engines and keeping each
+        # engine's best sample makes the *ratio* stable.
+        streaming = batched = 0.0
+        for _ in range(2):
+            streaming = max(
+                streaming,
+                measure_saturated_rate(
+                    engine="streaming", n_entities=n_entities, max_window=window,
+                    tail_alerts=min(tail_alerts, 8_000), names=names,
+                ),
+            )
+            batched = max(
+                batched,
+                measure_saturated_rate(
+                    engine="batched", n_entities=n_entities, max_window=window,
+                    tail_alerts=tail_alerts, names=names,
+                ),
+            )
+        return streaming, batched
+
+    for window in windows:
+        for n_entities in entity_counts:
+            streaming, batched = best_pair(n_entities, window)
+            results["cells"][f"W{window}/N{n_entities}"] = {
+                "streaming": round(streaming, 1),
+                "batched": round(batched, 1),
+                "speedup": round(batched / streaming, 2),
+            }
+    mix_streaming, mix_batched = best_pair(64, 64, names=MIX_NAMES)
+    results["recon_mix_64_64"] = {
+        "streaming": round(mix_streaming, 1),
+        "batched": round(mix_batched, 1),
+        "speedup": round(mix_batched / mix_streaming, 2),
+    }
+    results["speedup_512_64"] = results["cells"]["W64/N512"]["speedup"]
+    results["speedup_64_64"] = results["cells"]["W64/N64"]["speedup"]
+    results["ratio_1_64"] = results["cells"]["W64/N1"]["speedup"]
+    return results
+
+
+def check_regression(
+    baseline_path: Path,
+    *,
+    floor_512: float = 3.0,
+    floor_64: float = 2.0,
+    single_entity_floor: float = 0.9,
+) -> int:
+    """Fail (non-zero) if the stacked kernel loses its cross-entity edge.
+
+    Same-host batched/streaming throughput *ratios*, so no hardware
+    calibration: the N=512 cell must hold ``floor_512`` (the headline
+    vectorisation win), N=64 must hold ``floor_64``, and the N=1 cell
+    -- which takes the scalar fallback below the minimum stacking
+    batch -- must stay within ``1 - single_entity_floor`` of streaming
+    (best-of-3 interleaved, absorbing host timing noise).
+    """
+    check_equivalence()
+    print("equivalence: batched == streaming on detection-heavy stream: OK")
+
+    def best_ratio(n_entities: int, tail: int) -> tuple[float, float, float]:
+        # Interleaved best-of-3 per engine: whole runs move together
+        # with host frequency jitter, so per-engine bests make the
+        # ratio stable where a single back-to-back pair is not.
+        streaming = batched = 0.0
+        for _ in range(3):
+            streaming = max(
+                streaming,
+                measure_saturated_rate(
+                    engine="streaming", n_entities=n_entities,
+                    max_window=64, tail_alerts=tail,
+                ),
+            )
+            batched = max(
+                batched,
+                measure_saturated_rate(
+                    engine="batched", n_entities=n_entities,
+                    max_window=64, tail_alerts=tail,
+                ),
+            )
+        return streaming, batched, batched / streaming
+
+    streaming_512, batched_512, speedup_512 = best_ratio(512, 6_000)
+    print(f"N=512 W=64 streaming: {streaming_512:.0f} alerts/s")
+    print(f"N=512 W=64 batched:   {batched_512:.0f} alerts/s")
+    print(f"N=512 speedup:        {speedup_512:.2f}x (floor {floor_512}x)")
+    streaming_64, batched_64, speedup_64 = best_ratio(64, 6_000)
+    print(f"N=64  W=64 streaming: {streaming_64:.0f} alerts/s")
+    print(f"N=64  W=64 batched:   {batched_64:.0f} alerts/s")
+    print(f"N=64  speedup:        {speedup_64:.2f}x (floor {floor_64}x)")
+    _, _, ratio_1 = best_ratio(1, 3_000)
+    print(f"N=1   W=64 ratio:     {ratio_1:.2f}x (floor {single_entity_floor}x)")
+    if baseline_path.exists():
+        committed = json.loads(baseline_path.read_text())
+        print(f"committed speedup_512_64: {committed.get('speedup_512_64')}x")
+        print(f"committed speedup_64_64:  {committed.get('speedup_64_64')}x")
+    failed = False
+    if speedup_512 < floor_512:
+        print(f"FAIL: N=512 cross-entity speedup below {floor_512}x")
+        failed = True
+    if speedup_64 < floor_64:
+        print(f"FAIL: N=64 cross-entity speedup below {floor_64}x")
+        failed = True
+    if ratio_1 < single_entity_floor:
+        print(f"FAIL: N=1 batched regressed beyond {1 - single_entity_floor:.0%}")
+        failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+# -- pytest entry points ------------------------------------------------------
+
+def test_batched_kernel_beats_streaming(benchmark):
+    """Smoke version: >= 1.5x over per-alert streaming at N=64, W=16."""
+
+    def _run():
+        return measure_saturated_rate(
+            engine="batched", n_entities=64, max_window=16, tail_alerts=2_000
+        )
+
+    batched_rate = benchmark.pedantic(_run, rounds=3, iterations=1)
+    streaming_rate = measure_saturated_rate(
+        engine="streaming", n_entities=64, max_window=16, tail_alerts=2_000
+    )
+    assert batched_rate >= 1.5 * streaming_rate, (
+        f"batched {batched_rate:.0f} alerts/s vs streaming {streaming_rate:.0f} alerts/s"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="quick regression gate (equivalence + batched/streaming ratios)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULT_PATH, help="where to write results"
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check_regression(args.output)
+    results = run_benchmark()
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

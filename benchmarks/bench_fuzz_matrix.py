@@ -5,7 +5,7 @@ full engine x shards x backend x driver matrix; its wall-clock budget
 (~1 minute) only holds if campaign replay stays fast.  This benchmark
 records what that budget buys:
 
-* ``campaigns_per_minute`` through the **full** 54-config matrix,
+* ``campaigns_per_minute`` through the **full** 72-config matrix,
 * ``alert_config_rate``: alert-observations per second summed over
   every replayed configuration (each campaign alert is decoded once
   per configuration), the quantity that actually scales with campaign
@@ -75,7 +75,7 @@ def record() -> dict:
         "benchmark": "fuzz_matrix_throughput",
         "units": "alert_observations_per_second_across_configs",
         "notes": (
-            "Seed-pinned campaigns replayed through the full 54-config "
+            "Seed-pinned campaigns replayed through the full 72-config "
             "engine x shards x backend x driver matrix by the "
             "differential oracle. alert_config_rate counts each "
             "campaign alert once per replayed configuration."

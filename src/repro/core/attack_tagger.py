@@ -158,9 +158,14 @@ class AttackTagger:
         appends, but a full O(W * K^2) decoder rebuild on every window
         slide -- as the regression/benchmark reference for the
         amortised path.  ``"naive"`` keeps the seed behaviour of
-        re-decoding the whole chain per alert.  All engines produce
-        bit-identical detections; pattern weights are resolved when an
-        entity's decoder is created, so mutate
+        re-decoding the whole chain per alert.  ``"batched"`` keeps the
+        exact per-entity state of ``"streaming"`` but advances every
+        entity touched by a sub-batch together through the vectorised
+        cross-entity kernel (:class:`repro.core.batch_kernel
+        .BatchedDecodeKernel`): one ``(N, K, K)`` stacked semiring
+        reduce per driver step instead of N small-matrix calls.  All
+        engines produce bit-identical detections; pattern weights are
+        resolved when an entity's decoder is created, so mutate
         ``parameters.pattern_weights`` only between ``run_sequence``
         calls (which reset the entity) when using a decoder engine.
     """
@@ -185,14 +190,21 @@ class AttackTagger:
             raise ValueError("detection_threshold must be in (0, 1)")
         if max_window < 2:
             raise ValueError("max_window must be at least 2")
-        if engine not in ("streaming", "rebuild", "naive"):
-            raise ValueError("engine must be 'streaming', 'rebuild', or 'naive'")
+        if engine not in ("streaming", "rebuild", "naive", "batched"):
+            raise ValueError(
+                "engine must be 'streaming', 'rebuild', 'naive', or 'batched'"
+            )
         self.detection_threshold = float(detection_threshold)
         self.max_window = int(max_window)
         self.default_pattern_weight = float(default_pattern_weight)
         self.engine = engine
         self._tracks: Dict[str, EntityTrack] = {}
         self._detections: List[Detection] = []
+        # Cumulative seconds spent inside the batched decode kernel
+        # (0.0 for the per-alert engines); surfaced per stage through
+        # the pipeline's ``detect_kernel_seconds`` summary counter.
+        self.kernel_seconds: float = 0.0
+        self._batch_kernel = None
 
     # -- public state ------------------------------------------------------
     @property
@@ -334,6 +346,19 @@ class AttackTagger:
         already-detected entity are still recorded so the response path
         can keep building the incident timeline.
         """
+        detection = self._observe_impl(alert)
+        if detection is not None:
+            self._detections.append(detection)
+        return detection
+
+    def _observe_impl(self, alert: Alert) -> Optional[Detection]:
+        """Single-alert inference without the global detection-log append.
+
+        The batched kernel reuses this per-alert path for sub-batch
+        rounds too small to be worth stacking, then appends all of a
+        sub-batch's detections to ``_detections`` in stream order; the
+        public :meth:`observe` is this plus the log append.
+        """
         track = self.track(alert.entity)
         if track.detected is not None:
             # Already detected: record the alert for the incident
@@ -360,29 +385,20 @@ class AttackTagger:
             if sliding:
                 # Amortised slide: O(K^3) two-stack eviction.
                 decoder.evict_front()
-        states: Optional[np.ndarray] = None
-        matched: list[str] = []
         if decoder is not None:
             if decoder.windowed and not decoder.may_fire(self.detection_threshold):
                 # The guard-banded aggregate decision is authoritative
                 # for "cannot fire"; no exact decode is materialised.
                 return None
-            final_marginal = decoder.final_marginal()
-            final_state = HiddenState(decoder.final_state())
-        else:
-            states, final_marginal, matched = self.infer(alert.entity)
-            final_state = HiddenState(int(states[-1])) if states.size else HiddenState.BENIGN
+            return self._finalize_decision(track, alert, decoder)
+        states, final_marginal, matched = self.infer(alert.entity)
+        final_state = HiddenState(int(states[-1])) if states.size else HiddenState.BENIGN
         malicious_probability = float(final_marginal[int(HiddenState.MALICIOUS)])
         if (
             final_state is not HiddenState.MALICIOUS
             or malicious_probability < self.detection_threshold
         ):
             return None
-        if decoder is not None:
-            # Only a firing detection pays for the full O(T) backtrack.
-            states = decoder.map_path()
-            matched = decoder.matched_pattern_names()
-        assert states is not None
         detection = Detection(
             entity=alert.entity,
             timestamp=alert.timestamp,
@@ -394,11 +410,47 @@ class AttackTagger:
             state_trajectory=tuple(int(s) for s in states),
         )
         track.detected = detection
-        self._detections.append(detection)
+        return detection
+
+    def _finalize_decision(
+        self, track: EntityTrack, alert: Alert, decoder: StreamingDecoder
+    ) -> Optional[Detection]:
+        """Exact threshold decision + detection materialisation for a decoder.
+
+        Shared tail of the per-alert path and the batched kernel: both
+        arrive here only after their (guard-banded or stacked)
+        pre-filter could not rule the entity out, and the exact decoder
+        read-outs decide — and materialise — the detection
+        bit-identically to the naive path.
+        """
+        final_marginal = decoder.final_marginal()
+        final_state = HiddenState(decoder.final_state())
+        malicious_probability = float(final_marginal[int(HiddenState.MALICIOUS)])
+        if (
+            final_state is not HiddenState.MALICIOUS
+            or malicious_probability < self.detection_threshold
+        ):
+            return None
+        # Only a firing detection pays for the full O(T) backtrack.
+        states = decoder.map_path()
+        matched = decoder.matched_pattern_names()
+        detection = Detection(
+            entity=alert.entity,
+            timestamp=alert.timestamp,
+            alert_index=len(track.alerts) - 1,
+            trigger=alert,
+            state=final_state,
+            confidence=malicious_probability,
+            matched_patterns=tuple(matched),
+            state_trajectory=tuple(int(s) for s in states),
+        )
+        track.detected = detection
         return detection
 
     def observe_many(self, alerts: Iterable[Alert]) -> list[Detection]:
         """Consume a batch of alerts, returning any detections emitted."""
+        if self.engine == "batched":
+            return [detection for _, detection in self.observe_batch_indexed(alerts)]
         detections: list[Detection] = []
         for alert in alerts:
             detection = self.observe(alert)
@@ -409,6 +461,34 @@ class AttackTagger:
     def observe_batch(self, alerts: Iterable[Alert]) -> list[Detection]:
         """Batch stage entry point of the :class:`repro.core.detector.Detector` protocol."""
         return self.observe_many(alerts)
+
+    def observe_batch_indexed(
+        self, alerts: Iterable[Alert]
+    ) -> list[tuple[int, Detection]]:
+        """Consume one sub-batch, returning ``(position, detection)`` pairs.
+
+        Positions index into the sub-batch and are strictly increasing;
+        they let sharded drivers reconstruct global stream order without
+        assuming one-detection-per-alert.  Under ``engine="batched"``
+        the whole sub-batch is advanced by the stacked cross-entity
+        kernel; the other engines fall back to the per-alert loop with
+        identical results.
+        """
+        alerts = list(alerts)
+        if self.engine == "batched":
+            if self._batch_kernel is None:
+                from .batch_kernel import BatchedDecodeKernel
+
+                self._batch_kernel = BatchedDecodeKernel(self)
+            hits = self._batch_kernel.observe_rounds(alerts)
+            self._detections.extend(detection for _, detection in hits)
+            return hits
+        hits = []
+        for position, alert in enumerate(alerts):
+            detection = self.observe(alert)
+            if detection is not None:
+                hits.append((position, detection))
+        return hits
 
     def clone(self) -> "AttackTagger":
         """A fresh, stateless tagger with the same configuration.
@@ -443,6 +523,9 @@ class AttackTagger:
             entity: dataclasses.replace(track, decoder=None)
             for entity, track in self._tracks.items()
         }
+        # The kernel is pure scratch (stacked work buffers); recreated
+        # lazily on the first batched observe after unpickling.
+        state["_batch_kernel"] = None
         return state
 
     def run_sequence(self, sequence: AlertSequence, entity: Optional[str] = None) -> Optional[Detection]:

@@ -48,7 +48,22 @@ class Detector(Protocol):
         ...
 
     def observe_batch(self, alerts: Iterable[Alert]) -> list[Detection]:
-        """Consume a batch of alerts in order; return fired detections."""
+        """Consume a batch of alerts in order; return fired detections.
+
+        Implementations MAY additionally expose two optional extensions
+        that detector containers discover with ``getattr``:
+
+        * ``observe_batch_indexed(alerts) -> list[tuple[int, Detection]]``
+          — the same semantics, but each detection is paired with the
+          position of its triggering alert inside the sub-batch, and the
+          implementation is free to advance the whole sub-batch at once
+          (the :class:`~repro.core.attack_tagger.AttackTagger`'s
+          ``engine="batched"`` stacked cross-entity kernel).  Results
+          must be identical to calling :meth:`observe` per alert.
+        * ``kernel_seconds: float`` — cumulative wall-clock seconds
+          spent inside such a vectorised kernel, for stage timing
+          attribution (``PipelineStats.detect_kernel_seconds``).
+        """
         ...
 
     def reset(self) -> None:

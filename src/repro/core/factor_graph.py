@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -116,13 +116,25 @@ class Factor:
         return float(self.log_table[index])
 
 
-def _logsumexp(array: np.ndarray, axis: Optional[int] = None) -> np.ndarray:
-    """Numerically stable log-sum-exp.
+def _logsumexp(
+    array: np.ndarray,
+    axis: Optional[Union[int, Tuple[int, ...]]] = None,
+    keepdims: bool = False,
+) -> np.ndarray:
+    """Numerically stable log-sum-exp over any (stacked) axis.
 
     Slices whose maximum is ``-inf`` (all mass zero) reduce to ``-inf``
     rather than a garbage value anchored at 0; ``+inf`` propagates.
     Finite inputs -- including the ``_NEG_INF`` sentinel -- follow the
     usual max-shifted computation bit-for-bit.
+
+    ``axis`` may be an integer or a tuple of axes, so a stacked batch of
+    vectors reduces in one vectorised call; each slice of the result is
+    bit-identical to reducing that slice on its own (the shift, the
+    exponentials, and the K-term sums are the same scalar operations
+    either way -- pinned by the unit tests).  ``keepdims=True`` keeps
+    the reduced axes as size-1 dimensions for broadcasting (the batched
+    decode kernel's normalisation path).
     """
     maximum = np.max(array, axis=axis, keepdims=True)
     finite = np.isfinite(maximum)
@@ -130,6 +142,8 @@ def _logsumexp(array: np.ndarray, axis: Optional[int] = None) -> np.ndarray:
     with np.errstate(divide="ignore"):
         summed = np.log(np.sum(np.exp(array - safe_max), axis=axis, keepdims=True))
     result = np.where(finite, safe_max + summed, maximum)
+    if keepdims:
+        return result
     if axis is not None:
         result = np.squeeze(result, axis=axis)
     else:
@@ -552,6 +566,91 @@ def logsumexp_vecmat(v: np.ndarray, m: np.ndarray) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
+# Stacked (cross-entity) semiring products
+# ---------------------------------------------------------------------------
+#
+# The batched decode kernel (:mod:`repro.core.batch_kernel`) advances N
+# independent entities at once: it gathers each entity's operands into
+# one contiguous ``(N, K, K)``/``(N, K)`` stack and runs a single
+# broadcast + reduce over the stacked axis.  Slice ``n`` of every result
+# is bit-identical to calling the scalar op on slice ``n`` alone: the
+# adds, exps, logs, and (order-independent) max reductions are the same
+# scalar operations, and at K = 3 numpy's pairwise summation degenerates
+# to the same left-to-right 3-term sum either way.  The optional
+# ``stacked_out``/``out`` buffers let the kernel reuse per-round scratch
+# instead of allocating fresh ``(N, K, K, K)`` temporaries per alert.
+#
+# CAUTION: ``stacked_out`` is clobbered; ``out`` must not alias an input.
+
+
+def maxplus_matmul_batch(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    stacked_out: Optional[np.ndarray] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Stacked (max, +) products: ``C[n] = maxplus_matmul(A[n], B[n])``."""
+    stacked = np.add(a[:, :, :, None], b[:, None, :, :], out=stacked_out)
+    return np.max(stacked, axis=2, out=out)
+
+
+def logsumexp_matmul_batch(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    stacked_out: Optional[np.ndarray] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Stacked (logsumexp, +) products: ``C[n] = logsumexp_matmul(A[n], B[n])``.
+
+    Same finite-input fast path (and NaN propagation on hard zeros) as
+    the scalar op; the shift/exp/sum/log sequence is replayed verbatim
+    over the stacked axis.
+    """
+    stacked = np.add(a[:, :, :, None], b[:, None, :, :], out=stacked_out)
+    shift = stacked.max(axis=2)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        np.subtract(stacked, shift[:, :, None, :], out=stacked)
+        np.exp(stacked, out=stacked)
+        summed = stacked.sum(axis=2, out=out)
+        np.log(summed, out=summed)
+        np.add(shift, summed, out=summed)
+    return summed
+
+
+def maxplus_vecmat_batch(
+    v: np.ndarray,
+    m: np.ndarray,
+    *,
+    stacked_out: Optional[np.ndarray] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Stacked (max, +) vec-mat products: ``R[n] = maxplus_vecmat(V[n], M[n])``."""
+    stacked = np.add(v[:, :, None], m, out=stacked_out)
+    return np.max(stacked, axis=1, out=out)
+
+
+def logsumexp_vecmat_batch(
+    v: np.ndarray,
+    m: np.ndarray,
+    *,
+    stacked_out: Optional[np.ndarray] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Stacked (logsumexp, +) vec-mat products: ``R[n] = logsumexp_vecmat(V[n], M[n])``."""
+    stacked = np.add(v[:, :, None], m, out=stacked_out)
+    shift = stacked.max(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        np.subtract(stacked, shift[:, None, :], out=stacked)
+        np.exp(stacked, out=stacked)
+        summed = stacked.sum(axis=1, out=out)
+        np.log(summed, out=summed)
+        np.add(shift, summed, out=summed)
+    return summed
+
+
+# ---------------------------------------------------------------------------
 # Batched chain inference
 # ---------------------------------------------------------------------------
 #
@@ -742,4 +841,8 @@ __all__ = [
     "logsumexp_matmul",
     "maxplus_vecmat",
     "logsumexp_vecmat",
+    "maxplus_matmul_batch",
+    "logsumexp_matmul_batch",
+    "maxplus_vecmat_batch",
+    "logsumexp_vecmat_batch",
 ]

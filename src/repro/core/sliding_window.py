@@ -55,15 +55,13 @@ guard band -- see ``StreamingDecoder.may_fire``.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from .factor_graph import (
     logsumexp_matmul,
-    logsumexp_vecmat,
     maxplus_matmul,
-    maxplus_vecmat,
 )
 
 
@@ -84,6 +82,7 @@ class SlidingProductWindow:
         "_back_matrices",
         "_back_max",
         "_back_lse",
+        "_scratch",
     )
 
     def __init__(self) -> None:
@@ -101,9 +100,25 @@ class SlidingProductWindow:
         self._back_matrices: List[np.ndarray] = []
         self._back_max: List[np.ndarray] = []
         self._back_lse: List[np.ndarray] = []
+        # Reusable (K, K) fold buffer for apply(); lazily sized, never
+        # escapes (the returned vectors are fresh reductions of it).
+        self._scratch: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self._front_indices) + len(self._back_indices)
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Slotted class: build the state dict by hand, dropping the
+        # scratch buffer so pickled windows stay canonical (checkpoint
+        # bytes must not depend on whether apply() ever ran).
+        return {
+            slot: getattr(self, slot) for slot in self.__slots__ if slot != "_scratch"
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._scratch = None
 
     # -- mutation ----------------------------------------------------------
     def push(self, index: int, matrix: np.ndarray) -> None:
@@ -116,6 +131,28 @@ class SlidingProductWindow:
         else:
             self._back_max.append(matrix)
             self._back_lse.append(matrix)
+
+    def push_aggregated(
+        self,
+        index: int,
+        matrix: np.ndarray,
+        aggregate_max: np.ndarray,
+        aggregate_lse: np.ndarray,
+    ) -> None:
+        """Append a step whose prefix products were computed externally.
+
+        The batched decode kernel folds the back-prefix products for
+        many windows in one stacked call and scatters the results here.
+        The caller guarantees the aggregates equal what :meth:`push`
+        would have produced (bit-for-bit when the back stack is
+        non-empty; ``matrix`` itself — the same object in both aggregate
+        slots, as :meth:`push` does — when it is empty).  None of the
+        three arrays may be mutated afterwards.
+        """
+        self._back_indices.append(index)
+        self._back_matrices.append(matrix)
+        self._back_max.append(aggregate_max)
+        self._back_lse.append(aggregate_lse)
 
     def pop_front(self) -> int:
         """Evict the oldest step: O(K^3) amortised.  Returns its index."""
@@ -186,16 +223,43 @@ class SlidingProductWindow:
         Returns ``(viterbi_score, forward_log)`` -- the final Viterbi
         score vector and the unnormalised forward log message of the
         window.
+
+        The (max, +)/(logsumexp, +) vec-mat folds reuse one per-window
+        ``(K, K)`` scratch buffer instead of allocating temporaries on
+        every alert; the arithmetic replays ``maxplus_vecmat``/
+        ``logsumexp_vecmat`` bit-for-bit, and the returned vectors are
+        fresh arrays that never alias the scratch.
         """
         score = head
         forward = head
         if self._front_indices:
-            score = maxplus_vecmat(score, self._front_max[-1])
-            forward = logsumexp_vecmat(forward, self._front_lse[-1])
+            score, forward = self._fold(score, forward, -1, front=True)
         if self._back_indices:
-            score = maxplus_vecmat(score, self._back_max[-1])
-            forward = logsumexp_vecmat(forward, self._back_lse[-1])
+            score, forward = self._fold(score, forward, -1, front=False)
         return score, forward
+
+    def _fold(
+        self, score: np.ndarray, forward: np.ndarray, position: int, *, front: bool
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One scratch-buffered vec-mat fold through both semirings."""
+        matrix_max = self._front_max[position] if front else self._back_max[position]
+        matrix_lse = self._front_lse[position] if front else self._back_lse[position]
+        buffer = self._scratch
+        if buffer is None or buffer.shape != matrix_max.shape:
+            buffer = self._scratch = np.empty_like(matrix_max)
+        # (max, +): max_a score[a] + M[a, b], same ops as maxplus_vecmat.
+        np.add(score[:, None], matrix_max, out=buffer)
+        score = buffer.max(axis=0)
+        # (logsumexp, +): shift/exp/sum/log, same ops as logsumexp_vecmat.
+        np.add(forward[:, None], matrix_lse, out=buffer)
+        shift = buffer.max(axis=0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            np.subtract(buffer, shift[None, :], out=buffer)
+            np.exp(buffer, out=buffer)
+            summed = buffer.sum(axis=0)
+            np.log(summed, out=summed)
+            np.add(shift, summed, out=summed)
+        return score, summed
 
     # -- internals ---------------------------------------------------------
     def _flip(self) -> None:

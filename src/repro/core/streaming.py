@@ -300,6 +300,20 @@ class StreamingDecoder:
     # -- incremental update -------------------------------------------------
     def append(self, name: str) -> None:
         """Fold one alert into the chain: O(K^2 + pattern advances)."""
+        step, dirty, invalid_from = self.append_plan(name)
+        self._complete_append(step, dirty, invalid_from)
+
+    def append_plan(self, name: str) -> Tuple[int, Set[int], int]:
+        """Bookkeeping half of :meth:`append`: everything except the numerics.
+
+        Grows/compacts the buffers, stores the base observation row,
+        advances pattern cursors (relocating bonuses), and bumps the
+        version — but leaves the dirty unary rows and the forward/window
+        aggregates stale.  Returns ``(step, dirty, invalid_from)`` for
+        :meth:`_complete_append`, which the batched decode kernel
+        replaces with stacked cross-entity numerics; ``append`` is
+        exactly ``append_plan`` + ``_complete_append``.
+        """
         t = self._length
         if t == self._base.shape[0] and self._start >= max(1, t // 2):
             self._compact()
@@ -340,14 +354,18 @@ class StreamingDecoder:
                 else:
                     self._complete.add(index)
         self._length = t + 1
-        for step in dirty:
-            self._refresh_unary(step)
+        self._version += 1
+        self._decode_cache = None
+        return t, dirty, invalid_from
+
+    def _complete_append(self, step: int, dirty: Set[int], invalid_from: int) -> None:
+        """Numeric half of :meth:`append`: refresh unaries, extend aggregates."""
+        for touched in dirty:
+            self._refresh_unary(touched)
         if not self._windowed:
             self._recompute_forward(invalid_from)
         else:
-            self._apply_dirty_to_window(dirty, appended=t)
-        self._version += 1
-        self._decode_cache = None
+            self._apply_dirty_to_window(dirty, appended=step)
 
     def evict_front(self) -> None:
         """Slide the window start forward by one step: O(K^3) amortised.
@@ -357,6 +375,31 @@ class StreamingDecoder:
         later eviction pops the front stack (amortised two semiring
         products) and rescans only the patterns whose greedy match
         touched the evicted step.
+        """
+        transition, dirty = self.evict_plan()
+        # The new head row gains the initial-state prior.
+        self._refresh_unary(self._start)
+        for step in dirty:
+            self._refresh_unary(step)
+        if transition:
+            self._rebuild_window_aggregates()
+        else:
+            self._apply_dirty_to_window(dirty)
+
+    def evict_plan(self) -> Tuple[bool, Set[int]]:
+        """Bookkeeping half of :meth:`evict_front`.
+
+        Advances the window start, pops the front stack (or creates the
+        window on the filling→windowed transition), rescans the cursors
+        that touched the evicted step, and bumps the version — leaving
+        the new head row and any relocated-bonus rows stale.  Returns
+        ``(transition, dirty)``; the caller must refresh the head unary
+        (and each dirty step) and then rebuild (``transition``) or patch
+        the aggregates.  Refreshing the head *after* the rescan is
+        equivalent to the interleaved order ``evict_front`` historically
+        used: ``_refresh_unary`` is a pure function of the base/bonus
+        state, and every head-bonus change the rescan makes lands in
+        ``dirty``.
         """
         if self.length < 2:
             raise ValueError("cannot evict from a window of fewer than 2 steps")
@@ -368,17 +411,10 @@ class StreamingDecoder:
             self._window = SlidingProductWindow()
         else:
             self._window.pop_front()
-        # The new head row gains the initial-state prior.
-        self._refresh_unary(self._start)
         dirty = self._evict_cursor_state(evicted)
-        for step in dirty:
-            self._refresh_unary(step)
-        if transition:
-            self._rebuild_window_aggregates()
-        else:
-            self._apply_dirty_to_window(dirty)
         self._version += 1
         self._decode_cache = None
+        return transition, dirty
 
     def _evict_cursor_state(self, evicted: int) -> Set[int]:
         """Rescan patterns whose greedy match used the evicted step.

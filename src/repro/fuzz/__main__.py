@@ -2,7 +2,7 @@
 
 Examples::
 
-    # 25 seed-pinned campaigns through the full 54-config matrix
+    # 25 seed-pinned campaigns through the full 72-config matrix
     # (the CI quick-fuzz gate):
     python -m repro.fuzz --campaigns 25 --base-seed 0 --matrix full
 

@@ -72,6 +72,10 @@ class FaultPlan:
     kind: str
     n_shards: int = 2
     backend: str = "process"
+    #: Decode engine the faulted pipeline runs (crash semantics must be
+    #: engine-independent; ``batched`` exercises the stacked kernel's
+    #: state under checkpoint/restore and supervised replay).
+    engine: str = "streaming"
     #: ``kill``/``heal``: SIGKILL the worker after this batch collects.
     kill_batch: int = 0
     #: ``kill``/``heal``/``poison``: the shard the fault targets.
@@ -96,7 +100,7 @@ class FaultPlan:
             "heal": f"batch={self.kill_batch} shard={self.shard}",
             "poison": f"name={self.poison_name}",
         }[self.kind]
-        return f"{self.kind}[{self.n_shards}:{self.backend} {detail}]"
+        return f"{self.kind}[{self.engine}:{self.n_shards}:{self.backend} {detail}]"
 
 
 class ChaosPoisonDetector:
@@ -260,6 +264,7 @@ class ChaosComposer:
                     kind="split",
                     n_shards=int(rng.choice([1, 2, 4])),
                     backend=str(rng.choice(["serial", "process"])),
+                    engine=str(rng.choice(["streaming", "batched"])),
                     split_points=tuple(cuts),
                 )
             )
@@ -268,6 +273,7 @@ class ChaosComposer:
         # compared on the same fault.
         n_shards = int(rng.choice([2, 4]))
         target = _kill_target(campaign, n_shards, rng)
+        engine = str(rng.choice(["streaming", "batched"]))
         if target is not None:
             kill_batch, shard = target
             for kind in ("kill", "heal"):
@@ -276,6 +282,7 @@ class ChaosComposer:
                         kind=kind,
                         n_shards=n_shards,
                         backend="process",
+                        engine=engine,
                         kill_batch=kill_batch,
                         shard=shard,
                     )
@@ -341,7 +348,7 @@ class ChaosOracle:
     ) -> TestbedPipeline:
         tagger = AttackTagger(
             patterns=list(DEFAULT_CATALOGUE),
-            engine="streaming",
+            engine=plan.engine,
             max_window=campaign.max_window,
             detection_threshold=campaign.detection_threshold,
         )
@@ -376,7 +383,7 @@ class ChaosOracle:
     # -- split: checkpoint / kill / restore / replay ---------------------
     def _run_split(self, campaign: Campaign, plan: FaultPlan) -> List[ChaosFailure]:
         config = OracleConfig(
-            engine="streaming", n_shards=plan.n_shards, backend=plan.backend
+            engine=plan.engine, n_shards=plan.n_shards, backend=plan.backend
         )
         reference = self._reference(campaign, config)
         cuts = [c for c in plan.split_points if 0 < c < len(campaign.events)]
@@ -500,7 +507,7 @@ class ChaosOracle:
         stripped = _batches_only(campaign)
         reference = self._reference(
             stripped,
-            OracleConfig(engine="streaming", n_shards=plan.n_shards, backend="serial"),
+            OracleConfig(engine=plan.engine, n_shards=plan.n_shards, backend="serial"),
         )
         pipeline = self._build_pipeline(campaign, plan, restart_policy="restore")
         pool = pipeline.detector_pools["factor_graph"]
@@ -522,7 +529,7 @@ class ChaosOracle:
                     self._kill_shard(pipeline, plan.shard)
             result = ReplayResult(
                 config=OracleConfig(
-                    engine="streaming", n_shards=plan.n_shards, backend=plan.backend
+                    engine=plan.engine, n_shards=plan.n_shards, backend=plan.backend
                 ),
                 detections=detections,
                 detection_log=list(pipeline.detections),
@@ -566,7 +573,7 @@ class ChaosOracle:
         failures: List[ChaosFailure] = []
         tagger = AttackTagger(
             patterns=list(DEFAULT_CATALOGUE),
-            engine="streaming",
+            engine=plan.engine,
             max_window=campaign.max_window,
             detection_threshold=campaign.detection_threshold,
         )

@@ -3,7 +3,8 @@
 The repo's central correctness claim is that four independent execution
 axes never change a detection:
 
-* decode **engine** -- ``streaming`` / ``rebuild`` / ``naive``,
+* decode **engine** -- ``streaming`` / ``rebuild`` / ``naive`` /
+  ``batched`` (the stacked cross-entity kernel),
 * shard count -- entity-partitioned detector replicas,
 * shard **backend** -- ``serial`` / ``process`` workers,
 * pipeline **driver** -- batch-synchronous ``ingest_alerts``, the
@@ -42,7 +43,7 @@ from ..testbed.pipeline import TestbedPipeline
 from .campaign import Campaign
 
 #: Decode engines under differential test.
-ENGINES = ("streaming", "rebuild", "naive")
+ENGINES = ("streaming", "rebuild", "naive", "batched")
 #: Shard counts under differential test.
 SHARD_COUNTS = (1, 2, 4)
 #: Sharding backends under differential test.
@@ -106,7 +107,7 @@ REFERENCE_CONFIG = OracleConfig(engine="naive", n_shards=1, backend="serial", dr
 
 
 def full_matrix() -> list[OracleConfig]:
-    """The complete engine x shards x backend x driver matrix (54 configs)."""
+    """The complete engine x shards x backend x driver matrix (72 configs)."""
     return [
         OracleConfig(engine=e, n_shards=s, backend=b, driver=d)
         for e, s, b, d in itertools.product(ENGINES, SHARD_COUNTS, BACKENDS, DRIVERS)
@@ -125,6 +126,9 @@ def quick_matrix() -> list[OracleConfig]:
         OracleConfig("naive", 2, "process", "raw_stream"),
         OracleConfig("naive", 4, "serial", "alert_stream"),
         OracleConfig("streaming", 4, "process", "raw_stream"),
+        OracleConfig("batched", 1, "serial", "sync"),
+        OracleConfig("batched", 4, "process", "alert_stream"),
+        OracleConfig("batched", 2, "serial", "raw_stream"),
     ]
 
 

@@ -552,6 +552,13 @@ class TestbedPipeline:
             "filter_reduction": self.stats.filter_reduction,
             "detection_throughput": self.stats.detection_throughput,
             "detection_seconds": self.stats.detection_seconds,
+            # The slice of detection time spent inside vectorised decode
+            # kernels (engine="batched"), summed across pools and shards;
+            # 0.0 for per-alert engines.  Timing, so excluded from the
+            # differential oracle's compared counters.
+            "detect_kernel_seconds": sum(
+                sum(pool.kernel_seconds) for pool in self.detector_pools.values()
+            ),
             "response_seconds": self.stats.response_seconds,
             "stage_seconds": dict(self.stats.stage_seconds),
         }

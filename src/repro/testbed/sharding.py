@@ -227,10 +227,16 @@ def _shard_worker_main(factory, connection) -> None:
     exception can never wedge the parent or lose its traceback.
     ``observe`` receives a columnar sub-batch
     (:func:`repro.core.alerts.pack_alert_columns`) and replies with
-    ``(hits, busy_seconds)`` where ``hits`` are ``(position,
-    detection)`` pairs indexed into the sub-batch and ``busy_seconds``
-    is the CPU time the unpack+observe loop consumed (used by the
-    sharding benchmark's critical-path metric).  ``snapshot`` replies
+    ``(hits, busy_seconds, kernel_seconds)`` where ``hits`` are
+    ``(position, detection)`` pairs indexed into the sub-batch,
+    ``busy_seconds`` is the CPU time the unpack+observe loop consumed
+    (used by the sharding benchmark's critical-path metric), and
+    ``kernel_seconds`` is the wall-clock slice of that spent inside the
+    detector's vectorised decode kernel (0.0 for detectors without
+    one).  A detector exposing the optional ``observe_batch_indexed``
+    extension (see :class:`repro.core.detector.Detector`) gets the
+    whole sub-batch in one call — the ``engine="batched"`` stacked
+    cross-entity kernel — instead of the per-alert loop.  ``snapshot`` replies
     with the pickled detector replica; ``restore`` replaces the
     replica with an unpickled snapshot (clearing any recorded factory
     failure, so a supervisor can restore into a worker whose factory
@@ -261,12 +267,24 @@ def _shard_worker_main(factory, connection) -> None:
             try:
                 if command == "observe":
                     started = time.process_time()
-                    hits: List[Tuple[int, Detection]] = []
-                    for position, alert in enumerate(unpack_alert_columns(payload)):
-                        detection = detector.observe(alert)
-                        if detection is not None:
-                            hits.append((position, detection))
-                    connection.send(("ok", (hits, time.process_time() - started)))
+                    kernel_before = getattr(detector, "kernel_seconds", 0.0)
+                    indexed = getattr(detector, "observe_batch_indexed", None)
+                    if indexed is not None:
+                        hits: List[Tuple[int, Detection]] = indexed(
+                            unpack_alert_columns(payload)
+                        )
+                    else:
+                        hits = []
+                        for position, alert in enumerate(
+                            unpack_alert_columns(payload)
+                        ):
+                            detection = detector.observe(alert)
+                            if detection is not None:
+                                hits.append((position, detection))
+                    kernel = getattr(detector, "kernel_seconds", 0.0) - kernel_before
+                    connection.send(
+                        ("ok", (hits, time.process_time() - started, kernel))
+                    )
                 elif command == "reset_entity":
                     detector.reset_entity(payload)
                     connection.send(("ok", None))
@@ -527,6 +545,10 @@ class ShardedDetectorPool:
         #: Cumulative seconds each shard spent observing (serial: wall
         #: time in the caller; process: worker CPU time).
         self.busy_seconds: List[float] = [0.0] * self.n_shards
+        #: The slice of ``busy_seconds`` each shard's detector spent
+        #: inside its vectorised decode kernel (always 0.0 for
+        #: detectors without a ``kernel_seconds`` counter).
+        self.kernel_seconds: List[float] = [0.0] * self.n_shards
         self.shards: List[Detector] = []
         self._workers: List[_ProcessShard] = []
         self._pending: Deque[_PendingBatch] = collections.deque()
@@ -727,17 +749,29 @@ class ShardedDetectorPool:
                         self._unacked[shard] -= 1
                     if status == "ok":
                         self.busy_seconds[shard] += payload[1]
+                        self.kernel_seconds[shard] += payload[2]
                 raise
         else:
             for shard in active:
                 self.alerts_routed[shard] += len(sub_batches[shard])
                 started = time.perf_counter()
                 detector = self.shards[shard]
+                kernel_before = getattr(detector, "kernel_seconds", 0.0)
                 try:
-                    for local, alert in enumerate(sub_batches[shard]):
-                        detection = detector.observe(alert)
-                        if detection is not None:
-                            ticket.hits.append((positions[shard][local], detection))
+                    indexed = getattr(detector, "observe_batch_indexed", None)
+                    if indexed is not None:
+                        shard_positions = positions[shard]
+                        ticket.hits.extend(
+                            (shard_positions[local], detection)
+                            for local, detection in indexed(sub_batches[shard])
+                        )
+                    else:
+                        for local, alert in enumerate(sub_batches[shard]):
+                            detection = detector.observe(alert)
+                            if detection is not None:
+                                ticket.hits.append(
+                                    (positions[shard][local], detection)
+                                )
                 except Exception as exc:
                     if ticket.error is None:
                         ticket.error = ShardWorkerError(
@@ -746,6 +780,9 @@ class ShardedDetectorPool:
                         ticket.error.__cause__ = exc
                 finally:
                     self.busy_seconds[shard] += time.perf_counter() - started
+                    self.kernel_seconds[shard] += (
+                        getattr(detector, "kernel_seconds", 0.0) - kernel_before
+                    )
         self._pending.append(ticket)
         if len(self._pending) > self.inflight_high_water:
             self.inflight_high_water = len(self._pending)
@@ -782,8 +819,9 @@ class ShardedDetectorPool:
                         else:
                             ticket.error = ShardWorkerError(shard, str(payload))
                     continue
-                shard_hits, busy = payload
+                shard_hits, busy, kernel = payload
                 self.busy_seconds[shard] += busy
+                self.kernel_seconds[shard] += kernel
                 ticket.hits.extend(
                     (ticket.positions[shard][local], detection)
                     for local, detection in shard_hits
@@ -908,6 +946,7 @@ class ShardedDetectorPool:
             if position < acked_replays:
                 if status == "ok":
                     self.busy_seconds[shard] += payload[1]
+                    self.kernel_seconds[shard] += payload[2]
             else:
                 reply = (status, payload)
         return reply, True
@@ -977,6 +1016,7 @@ class ShardedDetectorPool:
         self._detections.clear()
         self.alerts_routed = [0] * self.n_shards
         self.busy_seconds = [0.0] * self.n_shards
+        self.kernel_seconds = [0.0] * self.n_shards
 
     def reset(self) -> None:
         """Forget all shard state and past detections."""
@@ -1076,6 +1116,7 @@ class ShardedDetectorPool:
             "detections": list(self._detections),
             "alerts_routed": list(self.alerts_routed),
             "busy_seconds": list(self.busy_seconds),
+            "kernel_seconds": list(self.kernel_seconds),
             "inflight_high_water": self.inflight_high_water,
         }
 
@@ -1128,6 +1169,10 @@ class ShardedDetectorPool:
         self._detections[:] = list(state["detections"])
         self.alerts_routed = list(state["alerts_routed"])
         self.busy_seconds = list(state["busy_seconds"])
+        # Absent in checkpoints taken before the batched decode kernel.
+        self.kernel_seconds = list(
+            state.get("kernel_seconds", [0.0] * self.n_shards)
+        )
         self.inflight_high_water = int(state["inflight_high_water"])
         if self._supervised:
             self._reset_supervision()

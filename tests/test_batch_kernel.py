@@ -1,0 +1,262 @@
+"""Bit-identity suite for the vectorised cross-entity decode kernel.
+
+``engine="batched"`` must be a pure performance optimisation: for every
+stream, every sub-batch shape, and every window size it must emit
+exactly the detections -- same trigger positions, states, confidences,
+matched patterns, and trajectories -- that the per-alert ``streaming``
+engine (and through PR 3's equivalence suite, the seed ``naive``
+re-decode path) emits, and leave every decoder's logical state (unary
+tables, names, bonuses, window span) bitwise identical.  The window
+*aggregates* are exempt from bitwise comparison: the kernel folds them
+with log-depth tree scans, which reassociate floating point relative to
+the sequential recursion -- by design, the aggregates only feed the
+guard-banded ``may_fire`` pre-filter, and every firing decision is
+re-derived from the exact cached decode (see
+``sliding_window.SlidingProductWindow``'s module docstring).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import AttackTagger
+from repro.core.alerts import Alert, AttackStage, DEFAULT_VOCABULARY
+from repro.incidents import DEFAULT_CATALOGUE
+from repro.testbed.sharding import ShardedDetectorPool
+
+ALL_NAMES = [spec.name for spec in DEFAULT_VOCABULARY]
+BENIGN_NAMES = [
+    spec.name
+    for spec in DEFAULT_VOCABULARY
+    if spec.stage in (AttackStage.BACKGROUND, AttackStage.RECONNAISSANCE)
+]
+
+#: Entities mixing ASCII, unicode, and separator-bearing names.
+ENTITIES = ["host:α-web", "サーバ:db", "host:c", "10.0.0.7", "host:e"]
+
+
+def _tagger(engine, max_window=8, **kwargs):
+    return AttackTagger(
+        patterns=list(DEFAULT_CATALOGUE), max_window=max_window, engine=engine, **kwargs
+    )
+
+
+def _random_stream(rng, length, entities=ENTITIES, names=ALL_NAMES):
+    return [
+        Alert(
+            float(i),
+            names[rng.integers(len(names))],
+            entities[rng.integers(len(entities))],
+        )
+        for i in range(length)
+    ]
+
+
+def _detection_key(detection):
+    return (
+        detection.entity,
+        detection.alert_index,
+        detection.timestamp,
+        detection.state,
+        detection.confidence,
+        detection.matched_patterns,
+        detection.state_trajectory,
+    )
+
+
+def _drive_batched(tagger, stream, chunk):
+    hits = []
+    for base in range(0, len(stream), chunk):
+        sub = stream[base : base + chunk]
+        for position, detection in tagger.observe_batch_indexed(sub):
+            hits.append((base + position, _detection_key(detection)))
+    return hits
+
+
+def _drive_scalar(tagger, stream):
+    hits = []
+    for position, alert in enumerate(stream):
+        detection = tagger.observe(alert)
+        if detection is not None:
+            hits.append((position, _detection_key(detection)))
+    return hits
+
+
+def _assert_same_logical_state(reference, batched, entities):
+    """Decoder state equal where bit-identity is promised."""
+    for entity in entities:
+        track_r, track_b = reference.track(entity), batched.track(entity)
+        assert (track_r is None) == (track_b is None)
+        if track_r is None:
+            continue
+        assert [a.name for a in track_r.alerts] == [a.name for a in track_b.alerts]
+        assert (track_r.detected is None) == (track_b.detected is None)
+        if track_r.detected is not None:
+            assert _detection_key(track_r.detected) == _detection_key(track_b.detected)
+            continue
+        states_r, marginal_r, matched_r = reference.infer(entity)
+        states_b, marginal_b, matched_b = batched.infer(entity)
+        assert np.array_equal(states_r, states_b)
+        assert np.array_equal(marginal_r, marginal_b)
+        assert matched_r == matched_b
+        decoder_r = reference._decoder_for(track_r)
+        decoder_b = batched._decoder_for(track_b)
+        assert decoder_r._length == decoder_b._length
+        assert decoder_r._start == decoder_b._start
+        assert decoder_r._windowed == decoder_b._windowed
+        n = decoder_r._length
+        assert np.array_equal(decoder_r._base[:n], decoder_b._base[:n])
+        assert np.array_equal(decoder_r._unary[:n], decoder_b._unary[:n])
+        assert decoder_r._names[:n] == decoder_b._names[:n]
+
+
+class TestBatchedEngineEquivalence:
+    @pytest.mark.parametrize("max_window", [2, 3, 5, 8, 64])
+    def test_bit_identical_detections_across_windows(self, max_window):
+        rng = np.random.default_rng(max_window)
+        stream = _random_stream(rng, 8 * max_window + 11)
+        streaming = _tagger("streaming", max_window)
+        batched = _tagger("batched", max_window)
+        assert _drive_scalar(streaming, stream) == _drive_batched(batched, stream, 32)
+        _assert_same_logical_state(streaming, batched, ENTITIES)
+
+    @pytest.mark.parametrize("chunk", [1, 3, 17, 64])
+    def test_sub_batch_shape_is_invisible(self, chunk):
+        """Ragged chunking (duplicate entities per call) never shows."""
+        rng = np.random.default_rng(chunk)
+        stream = _random_stream(rng, 150, entities=ENTITIES[:3])
+        streaming = _tagger("streaming")
+        batched = _tagger("batched")
+        assert _drive_scalar(streaming, stream) == _drive_batched(batched, stream, chunk)
+        _assert_same_logical_state(streaming, batched, ENTITIES[:3])
+
+    def test_matches_rebuild_and_naive_references(self):
+        rng = np.random.default_rng(7)
+        stream = _random_stream(rng, 90)
+        expected = None
+        for engine in ("naive", "rebuild", "streaming", "batched"):
+            tagger = _tagger(engine)
+            hits = (
+                _drive_batched(tagger, stream, 16)
+                if engine == "batched"
+                else _drive_scalar(tagger, stream)
+            )
+            if expected is None:
+                expected = hits
+            else:
+                assert hits == expected, engine
+        assert expected  # the stream must actually fire detections
+
+    def test_saturated_windows_heavy_eviction(self):
+        """Long undetected streams keep every entity in eviction mode."""
+        rng = np.random.default_rng(11)
+        entities = [f"sat:{i}" for i in range(16)]
+        stream = [
+            Alert(float(i), BENIGN_NAMES[rng.integers(len(BENIGN_NAMES))], entities[i % 16])
+            for i in range(3000)
+        ]
+        streaming = _tagger("streaming", max_window=16)
+        batched = _tagger("batched", max_window=16)
+        assert _drive_scalar(streaming, stream) == []
+        assert _drive_batched(batched, stream, 64) == []
+        _assert_same_logical_state(streaming, batched, entities)
+        assert batched.kernel_seconds > 0.0
+        assert streaming.kernel_seconds == 0.0
+
+    def test_mid_stream_reset_entity(self):
+        rng = np.random.default_rng(3)
+        stream = _random_stream(rng, 240)
+        streaming = _tagger("streaming")
+        batched = _tagger("batched")
+        hits_s, hits_b = [], []
+        for base in range(0, len(stream), 30):
+            sub = stream[base : base + 30]
+            hits_s.extend((base + p, k) for p, k in enumerate_hits(streaming, sub))
+            for position, detection in batched.observe_batch_indexed(sub):
+                hits_b.append((base + position, _detection_key(detection)))
+            if base == 90:
+                streaming.reset_entity(ENTITIES[0])
+                batched.reset_entity(ENTITIES[0])
+        assert hits_s == hits_b
+        _assert_same_logical_state(streaming, batched, ENTITIES)
+
+    def test_checkpoint_restore_replay(self):
+        """Pickle mid-stream, replay the rest: identical to unbroken run."""
+        rng = np.random.default_rng(5)
+        stream = _random_stream(rng, 200)
+        unbroken = _tagger("batched")
+        expected = _drive_batched(unbroken, stream, 25)
+        restored = _tagger("batched")
+        hits = _drive_batched(restored, stream[:100], 25)
+        blob = pickle.dumps(restored)
+        restored = pickle.loads(blob)
+        assert restored._batch_kernel is None  # kernel is pure scratch
+        for position, detection in restored.observe_batch_indexed(stream[100:]):
+            hits.append((100 + position, _detection_key(detection)))
+        assert hits == expected
+        # And against the scalar engine, for good measure.
+        streaming = _tagger("streaming")
+        assert _drive_scalar(streaming, stream) == expected
+        _assert_same_logical_state(streaming, restored, ENTITIES)
+
+    def test_observe_returns_single_detections(self):
+        """The per-alert entry point works under the batched engine too."""
+        rng = np.random.default_rng(13)
+        stream = _random_stream(rng, 80)
+        streaming = _tagger("streaming")
+        batched = _tagger("batched")
+        for alert in stream:
+            ds = streaming.observe(alert)
+            db = batched.observe(alert)
+            assert (ds is None) == (db is None)
+            if ds is not None:
+                assert _detection_key(ds) == _detection_key(db)
+        assert [_detection_key(d) for d in streaming.detections] == [
+            _detection_key(d) for d in batched.detections
+        ]
+
+
+def enumerate_hits(tagger, alerts):
+    for position, alert in enumerate(alerts):
+        detection = tagger.observe(alert)
+        if detection is not None:
+            yield position, _detection_key(detection)
+
+
+class TestBatchedThroughSharding:
+    @pytest.mark.parametrize("n_shards,backend", [(1, "serial"), (4, "serial"), (2, "process")])
+    def test_pool_merges_identically(self, n_shards, backend):
+        rng = np.random.default_rng(n_shards)
+        stream = _random_stream(rng, 160)
+        reference = _tagger("streaming")
+        expected = [key for _, key in _drive_scalar(reference, stream)]
+        pool = ShardedDetectorPool.from_template(
+            _tagger("batched"), n_shards=n_shards, backend=backend
+        )
+        try:
+            merged = []
+            for base in range(0, len(stream), 40):
+                merged.extend(pool.observe_batch(stream[base : base + 40]))
+            assert [_detection_key(d) for d in merged] == expected
+            if expected:
+                assert sum(pool.kernel_seconds) > 0.0
+        finally:
+            pool.close()
+
+    def test_pool_kernel_seconds_checkpoint_roundtrip(self):
+        rng = np.random.default_rng(21)
+        stream = _random_stream(rng, 120)
+        pool = ShardedDetectorPool.from_template(_tagger("batched"), n_shards=2)
+        pool.observe_batch(stream)
+        assert sum(pool.kernel_seconds) > 0.0
+        state = pool.snapshot_state()
+        other = ShardedDetectorPool.from_template(_tagger("batched"), n_shards=2)
+        other.restore_state(state)
+        assert other.kernel_seconds == pool.kernel_seconds
+        # Pre-kernel checkpoints restore with zeroed kernel telemetry.
+        legacy = {key: value for key, value in state.items() if key != "kernel_seconds"}
+        other.restore_state(legacy)
+        assert other.kernel_seconds == [0.0, 0.0]

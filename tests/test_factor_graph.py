@@ -10,8 +10,17 @@ from repro.core.factor_graph import (
     Factor,
     FactorGraph,
     Variable,
+    _logsumexp,
     chain_map_decode,
     chain_marginals,
+    logsumexp_matmul,
+    logsumexp_matmul_batch,
+    logsumexp_vecmat,
+    logsumexp_vecmat_batch,
+    maxplus_matmul,
+    maxplus_matmul_batch,
+    maxplus_vecmat,
+    maxplus_vecmat_batch,
 )
 
 
@@ -137,3 +146,90 @@ class TestChainSpecializations:
             chain_map_decode(np.zeros((2, 3)), np.zeros((2, 2)))
         with pytest.raises(ValueError):
             chain_map_decode(np.zeros(3), np.zeros((3, 3)))
+
+
+class TestAxisAwareLogsumexp:
+    """The stacked kernels depend on ``_logsumexp`` over axes replaying
+    the scalar reduction bit-for-bit and staying -inf-safe."""
+
+    def test_axis_rows_match_scalar_calls(self):
+        rng = np.random.default_rng(0)
+        stacked = rng.normal(size=(9, 3)) * 50.0
+        stacked[2, :] = -np.inf  # fully impossible row
+        stacked[5, 1] = -np.inf
+        rows = _logsumexp(stacked, axis=1)
+        for i in range(stacked.shape[0]):
+            scalar = _logsumexp(stacked[i])
+            assert rows[i] == scalar or (np.isinf(rows[i]) and np.isinf(scalar))
+
+    def test_keepdims_shape_and_values(self):
+        rng = np.random.default_rng(1)
+        stacked = rng.normal(size=(4, 3))
+        kept = _logsumexp(stacked, axis=1, keepdims=True)
+        assert kept.shape == (4, 1)
+        assert np.array_equal(kept[:, 0], _logsumexp(stacked, axis=1))
+
+    def test_middle_axis_of_three(self):
+        rng = np.random.default_rng(2)
+        stacked = rng.normal(size=(5, 3, 3))
+        reduced = _logsumexp(stacked, axis=1)
+        for n in range(5):
+            for b in range(3):
+                assert reduced[n, b] == _logsumexp(stacked[n, :, b])
+
+    def test_all_minus_inf_input(self):
+        stacked = np.full((2, 3), -np.inf)
+        reduced = _logsumexp(stacked, axis=1)
+        assert np.all(np.isneginf(reduced))
+        assert _logsumexp(stacked) == -np.inf
+
+    def test_default_axis_unchanged(self):
+        values = np.array([0.0, 700.0, -700.0])
+        assert _logsumexp(values) == pytest.approx(700.0)
+        assert np.isscalar(_logsumexp(values)) or _logsumexp(values).ndim == 0
+
+
+class TestBatchedSemiringOps:
+    """Stacked (N, K, K) ops must equal per-slice scalar ops bitwise."""
+
+    def _stacks(self, seed, n=7, k=3):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, k, k)) * 30.0
+        b = rng.normal(size=(n, k, k)) * 30.0
+        a[1, :, 0] = -np.inf  # impossible transitions survive stacking
+        b[3, 2, :] = -np.inf
+        return a, b
+
+    def test_maxplus_matmul_batch_matches_scalar(self):
+        a, b = self._stacks(0)
+        out = maxplus_matmul_batch(a, b)
+        for n in range(a.shape[0]):
+            assert np.array_equal(out[n], maxplus_matmul(a[n], b[n]))
+
+    def test_logsumexp_matmul_batch_matches_scalar(self):
+        a, b = self._stacks(1)
+        out = logsumexp_matmul_batch(a, b)
+        for n in range(a.shape[0]):
+            scalar = logsumexp_matmul(a[n], b[n])
+            assert np.array_equal(out[n], scalar, equal_nan=True)
+
+    def test_vecmat_batch_ops_match_scalar(self):
+        rng = np.random.default_rng(2)
+        v = rng.normal(size=(6, 3)) * 30.0
+        m = rng.normal(size=(6, 3, 3)) * 30.0
+        v[4, 1] = -np.inf
+        out_max = maxplus_vecmat_batch(v, m)
+        out_lse = logsumexp_vecmat_batch(v, m)
+        for n in range(6):
+            assert np.array_equal(out_max[n], maxplus_vecmat(v[n], m[n]))
+            assert np.array_equal(out_lse[n], logsumexp_vecmat(v[n], m[n]), equal_nan=True)
+
+    def test_scratch_out_buffers_do_not_change_results(self):
+        a, b = self._stacks(3)
+        n, k = a.shape[0], a.shape[1]
+        stacked = np.empty((n, k, k, k))
+        out = np.empty((n, k, k))
+        plain = logsumexp_matmul_batch(a, b)
+        buffered = logsumexp_matmul_batch(a, b, stacked_out=stacked, out=out)
+        assert buffered is out
+        assert np.array_equal(plain, buffered, equal_nan=True)

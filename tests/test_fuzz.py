@@ -121,9 +121,9 @@ class TestDifferentialOracle:
         assert verdict.reference.counters["filtered_alerts"] > 0
 
     def test_matrix_shapes(self):
-        assert len(full_matrix()) == 54
+        assert len(full_matrix()) == 72
         labels = {config.label for config in full_matrix()}
-        assert len(labels) == 54
+        assert len(labels) == 72
         assert OracleConfig.parse("naive:4:process:raw_stream") in full_matrix()
 
     def test_oracle_flags_a_seeded_fault(self):
