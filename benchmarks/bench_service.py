@@ -1,0 +1,209 @@
+"""Sustained socket ingest throughput and latency of the service.
+
+The always-on service adds a front-end on top of the pipeline: JSONL
+framing, asyncio scheduling, admission bookkeeping, and the single
+consumer that owns the pipeline.  This benchmark measures what that
+front-end costs end to end: a client streams seed-pinned alert batches
+over a real TCP connection as fast as acks come back, then drains, and
+we record per backend/shard configuration:
+
+* ``alerts_per_s`` -- sustained socket ingest throughput (client-side
+  wall clock from first send to drain completion),
+* ``p50_ms`` / ``p99_ms`` -- the server's own per-batch end-to-end
+  latency percentiles (enqueue to detection collect, from the
+  ``stats`` op's latency window),
+* ``detections`` -- sanity that the workload actually detects.
+
+Run as a script to (re)record ``BENCH_service.json`` at the repo
+root::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+CI runs the regression gate, which re-measures the serial single-shard
+configuration and fails on a >4x throughput regression against the
+committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import AttackTagger  # noqa: E402
+from repro.core.alerts import Alert  # noqa: E402
+from repro.incidents import DEFAULT_CATALOGUE  # noqa: E402
+from repro.testbed import TestbedPipeline  # noqa: E402
+from repro.service import ServiceConfig, start_service_in_thread  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_service.json"
+
+BASE_SEED = 0
+N_ENTITIES = 64
+BATCH_SIZE = 50
+N_BATCHES = 80
+
+#: engine, n_shards, backend triples measured.
+CONFIGS = (
+    ("streaming", 1, "serial"),
+    ("streaming", 4, "serial"),
+    ("streaming", 4, "process"),
+)
+#: The configuration the --check gate re-measures.
+CHECK_CONFIG = ("streaming", 1, "serial")
+
+#: --check fails below this fraction of the committed alerts_per_s.
+REGRESSION_FLOOR = 0.25
+
+
+def _batches() -> list[list[Alert]]:
+    rng = np.random.default_rng(BASE_SEED)
+    patterns = list(DEFAULT_CATALOGUE)
+    queues = {
+        f"user:u{index:04d}": list(patterns[index % len(patterns)].names)
+        for index in range(N_ENTITIES)
+    }
+    entities = list(queues)
+    timestamp = 0.0
+    batches: list[list[Alert]] = []
+    for _ in range(N_BATCHES):
+        batch: list[Alert] = []
+        for _ in range(BATCH_SIZE):
+            entity = entities[int(rng.integers(0, len(entities)))]
+            queue = queues[entity]
+            if not queue:
+                queue.extend(patterns[int(rng.integers(0, len(patterns)))].names)
+            timestamp += float(rng.uniform(0.01, 0.2))
+            batch.append(Alert(timestamp, queue.pop(0), entity))
+        batches.append(batch)
+    return batches
+
+
+def measure_config(engine: str, n_shards: int, backend: str) -> dict:
+    batches = _batches()
+
+    def factory() -> TestbedPipeline:
+        return TestbedPipeline(
+            detectors={
+                "factor_graph": AttackTagger(
+                    patterns=list(DEFAULT_CATALOGUE), engine=engine
+                )
+            },
+            n_shards=n_shards,
+            shard_backend=backend,
+        )
+
+    handle = start_service_in_thread(factory, ServiceConfig())
+    try:
+        with handle.client() as client:
+            client.hello()
+            started = time.perf_counter()
+            for batch in batches:
+                client.send_alerts(batch)
+            client.drain()
+            elapsed = time.perf_counter() - started
+            stats = client.stats()
+    finally:
+        handle.stop()
+    total_alerts = sum(len(batch) for batch in batches)
+    e2e = stats["latency"]["e2e"]
+    return {
+        "engine": engine,
+        "n_shards": n_shards,
+        "backend": backend,
+        "batches": len(batches),
+        "alerts": total_alerts,
+        "wall_seconds": round(elapsed, 4),
+        "alerts_per_s": round(total_alerts / max(elapsed, 1e-9), 1),
+        "p50_ms": round(e2e["p50"] * 1e3, 3),
+        "p99_ms": round(e2e["p99"] * 1e3, 3),
+        "max_ms": round(e2e["max"] * 1e3, 3),
+        "detections": int(stats["detections_emitted"]),
+    }
+
+
+def record() -> dict:
+    result = {
+        "benchmark": "service_socket_ingest_throughput",
+        "units": "alerts_per_second_and_latency_ms_per_config",
+        "notes": (
+            "A blocking JSONL client streams seed-pinned 50-alert batches "
+            "over loopback TCP to the in-process DetectionService as fast "
+            "as acks return, then drains; alerts_per_s is client wall "
+            "clock over the whole stream, p50/p99 are the server's own "
+            "per-batch enqueue-to-collect latency percentiles."
+        ),
+        "cores_available": len(os.sched_getaffinity(0)),
+        "workload": {
+            "base_seed": BASE_SEED,
+            "entities": N_ENTITIES,
+            "batch_size": BATCH_SIZE,
+            "batches": N_BATCHES,
+        },
+        "measurements": [measure_config(*config) for config in CONFIGS],
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    return result
+
+
+def check() -> int:
+    if not RESULT_PATH.exists():
+        print(f"missing baseline {RESULT_PATH}; "
+              "run this script without --check to record one")
+        return 1
+    baseline = json.loads(RESULT_PATH.read_text())
+    committed = {
+        (m["engine"], m["n_shards"], m["backend"]): m
+        for m in baseline["measurements"]
+    }
+    if CHECK_CONFIG not in committed:
+        print(f"FAIL: committed baseline has no config {CHECK_CONFIG}")
+        return 1
+    measurement = measure_config(*CHECK_CONFIG)
+    print(json.dumps(measurement, indent=2))
+    if measurement["detections"] <= 0:
+        print("FAIL: workload produced no detections (vacuous measurement)")
+        return 1
+    reference_rate = committed[CHECK_CONFIG]["alerts_per_s"]
+    floor = REGRESSION_FLOOR * reference_rate
+    if measurement["alerts_per_s"] < floor:
+        print(
+            f"FAIL: socket ingest {measurement['alerts_per_s']:.1f} alerts/s "
+            f"below regression floor {floor:.1f} alerts/s "
+            f"({REGRESSION_FLOOR:.0%} of committed {reference_rate:.1f})"
+        )
+        return 1
+    print(
+        f"OK: {measurement['alerts_per_s']:.1f} alerts/s >= floor "
+        f"{floor:.1f} alerts/s (p99 {measurement['p99_ms']:.2f} ms)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="quick regression gate against the committed BENCH_service.json",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check()
+    record()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

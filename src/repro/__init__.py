@@ -24,6 +24,9 @@ Supercomputing Infrastructure" (Cao, Kalbarczyk, Iyer; NCSA/UIUC):
 * :mod:`repro.fuzz` -- the adversarial campaign fuzzer and the
   cross-configuration differential oracle (engine x shards x backend x
   driver equivalence as a generative, checked property).
+* :mod:`repro.service` -- the always-on detection service: asyncio
+  JSONL-over-TCP ingestion with admission control, live N->M
+  resharding, and drain-then-checkpoint lifecycle.
 """
 
 __version__ = "1.0.0"
@@ -37,5 +40,6 @@ __all__ = [
     "viz",
     "analysis",
     "fuzz",
+    "service",
     "__version__",
 ]

@@ -528,6 +528,35 @@ class AttackTagger:
         state["_batch_kernel"] = None
         return state
 
+    # -- live reshard migration --------------------------------------------
+    # The optional Detector migration extension (see
+    # repro.core.detector.Detector): ShardedDetectorPool.reshard() moves
+    # per-entity state between replicas through these three methods.
+    def export_entity_tracks(self) -> Dict[str, EntityTrack]:
+        """Every per-entity track, with decoder caches dropped.
+
+        The returned tracks are safe to hand to another replica built
+        from the same configuration: a decoder is a pure function of
+        the track's window-bounded alert list, so the adopting tagger
+        rebuilds it lazily and bit-identically (same argument as
+        :meth:`__getstate__`).
+        """
+        return {
+            entity: dataclasses.replace(track, decoder=None)
+            for entity, track in self._tracks.items()
+        }
+
+    def adopt_entity_track(self, entity: str, track: EntityTrack) -> None:
+        """Take ownership of one migrated per-entity track."""
+        if entity in self._tracks:
+            raise ValueError(f"entity {entity!r} is already tracked")
+        self._trim_track(track)
+        self._tracks[entity] = track
+
+    def replace_detections(self, detections: Sequence[Detection]) -> None:
+        """Overwrite the emitted-detections log (reshard log rebuild)."""
+        self._detections[:] = list(detections)
+
     def run_sequence(self, sequence: AlertSequence, entity: Optional[str] = None) -> Optional[Detection]:
         """Run a full stored sequence through a fresh per-entity track.
 

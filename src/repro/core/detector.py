@@ -63,6 +63,24 @@ class Detector(Protocol):
         * ``kernel_seconds: float`` — cumulative wall-clock seconds
           spent inside such a vectorised kernel, for stage timing
           attribution (``PipelineStats.detect_kernel_seconds``).
+
+        A further optional extension group enables **live resharding**
+        (``ShardedDetectorPool.reshard``): containers migrate
+        per-entity state between replicas of the same configuration
+        through
+
+        * ``export_entity_tracks() -> dict[str, object]`` — every
+          entity's state as an opaque migratable value;
+        * ``adopt_entity_track(entity, track) -> None`` — take
+          ownership of one exported value (the entity must not already
+          be tracked);
+        * ``replace_detections(detections) -> None`` — overwrite the
+          emitted-detections log (the container rebuilds each replica's
+          log from its own merged stream-order log after re-routing).
+
+        Containers treat the exported values as opaque; a detector
+        without this group simply cannot be resharded live (the pool
+        raises ``TypeError``).
         """
         ...
 

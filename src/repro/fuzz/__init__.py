@@ -53,6 +53,7 @@ from .chaos import (
     ChaosVerdict,
     FAULT_KINDS,
     FaultPlan,
+    SERVICE_FAULT_KINDS,
     campaign_batches,
 )
 from .regressions import (
@@ -85,6 +86,7 @@ __all__ = [
     "CampaignVerdict",
     "DifferentialOracle",
     "FAULT_KINDS",
+    "SERVICE_FAULT_KINDS",
     "FaultPlan",
     "ChaosPoisonDetector",
     "ChaosFailure",

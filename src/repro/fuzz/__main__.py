@@ -71,6 +71,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="run seeded fault campaigns against the "
                              "crash-semantics oracle instead of the "
                              "differential matrix")
+    parser.add_argument("--service-legs", action="store_true",
+                        help="with --chaos: run the socket-level service "
+                             "fault legs (disconnect / reshard-kill / shed) "
+                             "instead of the pipeline legs")
     return parser
 
 
@@ -83,7 +87,12 @@ def _chaos_main(args: argparse.Namespace) -> int:
     failures = 0
     legs_total = 0
     started = time.perf_counter()
-    for index, campaign, plans in composer.chaos_campaigns(args.campaigns):
+    campaigns = (
+        composer.service_campaigns(args.campaigns)
+        if args.service_legs
+        else composer.chaos_campaigns(args.campaigns)
+    )
+    for index, campaign, plans in campaigns:
         campaign_started = time.perf_counter()
         verdict = oracle.run(campaign, plans)
         elapsed = time.perf_counter() - campaign_started

@@ -31,6 +31,23 @@ Each chaos campaign is a regular fuzzer campaign plus a seeded
     a death: both backends surface the same typed error with the
     worker-side traceback preserved, and the pipeline stays drivable.
 
+PR 8 adds three *service-level* legs (composed separately by
+:meth:`ChaosComposer.compose_service`, so the pinned pipeline plans
+above stay byte-identical), which replay the same campaigns through a
+live :mod:`repro.service` socket front-end:
+
+``disconnect``
+    A client vanishes mid JSON frame; acked work survives, the partial
+    frame is discarded, and a second client finishing the stream sees
+    bit-identical results.
+``reshard-kill``
+    A shard worker is SIGKILLed, then a live N->M reshard is requested
+    over the socket: the harvest heals the corpse parent-side and the
+    stream stays bit-identical across the transition.
+``shed``
+    Admission is forced to ``reject``; the client's replay after
+    reopening delivers the stream complete and in order (lossless).
+
 Everything is deterministic in ``(seed, index)`` -- campaigns via
 :class:`~repro.fuzz.campaign.CampaignComposer`, fault plans via this
 module's :class:`ChaosComposer` -- so CI replays pinned fault
@@ -57,12 +74,21 @@ from ..testbed.sharding import ShardRecoveryError, ShardWorkerError, shard_of
 from .campaign import Campaign, CampaignComposer
 from .oracle import DifferentialOracle, OracleConfig, ReplayResult
 
-#: Fault leg kinds a plan may request.
-FAULT_KINDS = ("split", "kill", "heal", "poison")
+#: Fault leg kinds a plan may request.  The first four target the
+#: pipeline directly; the service kinds (PR 8) drive the same faults
+#: through a live :mod:`repro.service` socket front-end.
+FAULT_KINDS = ("split", "kill", "heal", "poison", "disconnect", "reshard-kill", "shed")
+
+#: The socket-level legs, composed by :meth:`ChaosComposer.compose_service`.
+SERVICE_FAULT_KINDS = ("disconnect", "reshard-kill", "shed")
 
 #: Salt mixed into the fault-plan rng so plans are independent of the
 #: campaign composition stream drawn from the same ``(seed, index)``.
 _PLAN_SALT = 0xC4A05
+
+#: Separate salt for service-leg plans: ``compose_service`` must not
+#: perturb (or depend on) the pinned ``compose`` plan stream.
+_SERVICE_SALT = 0x5EC41
 
 
 @dataclasses.dataclass(frozen=True)
@@ -86,6 +112,11 @@ class FaultPlan:
     poison_name: str = ""
     max_restarts: int = 3
     backoff_base: float = 0.001
+    #: ``disconnect``: event index at which the first client vanishes
+    #: mid-write; ``shed``: batch index sent while admission rejects.
+    fault_event: int = 0
+    #: ``reshard-kill``: the live reshard's target shard count.
+    reshard_to: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -99,6 +130,11 @@ class FaultPlan:
             "kill": f"batch={self.kill_batch} shard={self.shard}",
             "heal": f"batch={self.kill_batch} shard={self.shard}",
             "poison": f"name={self.poison_name}",
+            "disconnect": f"event={self.fault_event}",
+            "reshard-kill": (
+                f"batch={self.kill_batch} shard={self.shard} ->{self.reshard_to}"
+            ),
+            "shed": f"batch={self.fault_event}",
         }[self.kind]
         return f"{self.kind}[{self.engine}:{self.n_shards}:{self.backend} {detail}]"
 
@@ -304,12 +340,87 @@ class ChaosComposer:
                 )
         return campaign, plans
 
+    def compose_service(self, index: int = 0) -> Tuple[Campaign, List[FaultPlan]]:
+        """Compose the socket-level fault plans for campaign ``index``.
+
+        Independent of :meth:`compose`'s plan stream (its own salt):
+        the pinned pipeline-level chaos campaigns stay byte-identical
+        while the service legs evolve.  Plans:
+
+        ``disconnect``
+            A client streams the campaign's prefix, then vanishes mid
+            JSON line (an abrupt TCP close inside a request frame).
+            Acked work must survive, the partial frame must be
+            discarded, the server must keep serving, and a second
+            client finishing the stream must observe bit-identical
+            results.
+        ``reshard-kill``
+            A shard worker is SIGKILLed between batches, then a live
+            N->M reshard is requested over the socket: the harvest
+            phase must heal the dead worker parent-side (snapshot +
+            replay-log rebuild), the reshard completes, and the full
+            stream stays bit-identical.
+        ``shed``
+            Admission is forced to ``reject`` just before a chosen
+            batch; the client's backoff/retry (after admission
+            reopens) must deliver the stream complete and in order --
+            shed-then-replay with zero loss.
+        """
+        campaign = self.composer.compose(index)
+        rng = np.random.default_rng((self.seed, int(index), _SERVICE_SALT))
+        plans: List[FaultPlan] = []
+        n_events = len(campaign.events)
+        n_batches = len(campaign_batches(campaign))
+        if n_events >= 2:
+            plans.append(
+                FaultPlan(
+                    kind="disconnect",
+                    n_shards=int(rng.choice([1, 2])),
+                    backend="serial",
+                    engine=str(rng.choice(["streaming", "batched"])),
+                    fault_event=int(rng.integers(1, n_events)),
+                )
+            )
+        if n_batches >= 2:
+            n_shards = int(rng.choice([2, 3]))
+            reshard_to = int(rng.choice([c for c in (1, 2, 4) if c != n_shards]))
+            plans.append(
+                FaultPlan(
+                    kind="reshard-kill",
+                    n_shards=n_shards,
+                    backend="process",
+                    engine=str(rng.choice(["streaming", "batched"])),
+                    kill_batch=int(rng.integers(0, n_batches - 1)),
+                    shard=int(rng.integers(0, n_shards)),
+                    reshard_to=reshard_to,
+                )
+            )
+        if n_batches >= 1:
+            plans.append(
+                FaultPlan(
+                    kind="shed",
+                    n_shards=2,
+                    backend="serial",
+                    engine="streaming",
+                    fault_event=int(rng.integers(0, n_batches)),
+                )
+            )
+        return campaign, plans
+
     def chaos_campaigns(
         self, count: int
     ) -> Iterator[Tuple[int, Campaign, List[FaultPlan]]]:
         """Yield ``(index, campaign, plans)`` for ``count`` campaigns."""
         for index in range(count):
             campaign, plans = self.compose(index)
+            yield index, campaign, plans
+
+    def service_campaigns(
+        self, count: int
+    ) -> Iterator[Tuple[int, Campaign, List[FaultPlan]]]:
+        """Yield ``(index, campaign, service plans)`` for ``count`` campaigns."""
+        for index in range(count):
+            campaign, plans = self.compose_service(index)
             yield index, campaign, plans
 
 
@@ -330,6 +441,9 @@ class ChaosOracle:
             "kill": self._run_kill,
             "heal": self._run_heal,
             "poison": self._run_poison,
+            "disconnect": self._run_disconnect,
+            "reshard-kill": self._run_reshard_kill,
+            "shed": self._run_shed,
         }
         for plan in plans:
             verdict.legs_run += 1
@@ -568,6 +682,224 @@ class ChaosOracle:
                 )
         return failures
 
+    # -- service legs: the same faults through a live socket -------------
+    # repro.service imports repro.fuzz.oracle, so these imports stay
+    # local to keep the package import graph acyclic.
+    @staticmethod
+    def _drive_event(client, event) -> None:
+        if event.kind == "batch":
+            client.send_alerts(list(event.alerts))
+        elif event.kind == "reset_entity":
+            client.control("reset_entity", entity=event.entity)
+        elif event.kind == "reset":
+            client.control("reset")
+        elif event.kind == "reopen":
+            client.control("reopen")
+
+    @staticmethod
+    def _service_results(client) -> dict:
+        reply = client.results()
+        return {
+            key: reply[key]
+            for key in (
+                "detections",
+                "detection_log",
+                "notifications",
+                "actions",
+                "counters",
+            )
+        }
+
+    def _run_disconnect(self, campaign: Campaign, plan: FaultPlan) -> List[ChaosFailure]:
+        """Abrupt client death mid-frame: acked work survives, server lives."""
+        from ..service.server import ServiceConfig, start_service_in_thread
+        from ..service.smoke import (
+            build_service_pipeline,
+            compare_results,
+            reference_results,
+        )
+
+        failures: List[ChaosFailure] = []
+        expected = reference_results(campaign)
+        cut = max(1, plan.fault_event % len(campaign.events))
+        handle = start_service_in_thread(
+            lambda: build_service_pipeline(
+                campaign,
+                engine=plan.engine,
+                n_shards=plan.n_shards,
+                backend=plan.backend,
+            ),
+            ServiceConfig(),
+        )
+        try:
+            first = handle.client()
+            for event in campaign.events[:cut]:
+                self._drive_event(first, event)
+            # Vanish inside a request frame: a partial JSON line, then
+            # a hard close with the reply unread.
+            first._sock.sendall(b'{"op":"batch","alerts":[')
+            first._sock.close()
+            with handle.client() as second:
+                if not second.ping().get("pong"):
+                    failures.append(
+                        ChaosFailure(plan.label, "server unresponsive after disconnect")
+                    )
+                for event in campaign.events[cut:]:
+                    self._drive_event(second, event)
+                second.drain()
+                got = self._service_results(second)
+        finally:
+            handle.stop()
+        failures.extend(
+            ChaosFailure(plan.label, difference)
+            for difference in compare_results(expected, got)
+        )
+        return failures
+
+    def _run_reshard_kill(
+        self, campaign: Campaign, plan: FaultPlan
+    ) -> List[ChaosFailure]:
+        """SIGKILL a worker, then reshard live: harvest must heal it."""
+        from ..service.server import ServiceConfig, start_service_in_thread
+        from ..service.smoke import (
+            build_service_pipeline,
+            compare_results,
+            reference_results,
+        )
+
+        failures: List[ChaosFailure] = []
+        expected = reference_results(campaign)
+        handle = start_service_in_thread(
+            lambda: build_service_pipeline(
+                campaign,
+                engine=plan.engine,
+                n_shards=plan.n_shards,
+                backend="process",
+                restart_policy="restore",
+            ),
+            ServiceConfig(),
+        )
+        try:
+            with handle.client() as client:
+                batch_index = -1
+                for event in campaign.events:
+                    self._drive_event(client, event)
+                    if event.kind == "batch" and event.alerts:
+                        batch_index += 1
+                        if batch_index == plan.kill_batch:
+                            # Quiesce so the kill lands between batches,
+                            # then crash the worker and reshard over the
+                            # socket: the harvest phase finds the corpse
+                            # and must rebuild its replica parent-side.
+                            client.drain()
+                            pool = handle.pipeline.detector_pools["factor_graph"]
+                            worker = pool._workers[plan.shard]
+                            worker.process.kill()
+                            worker.process.join(timeout=5.0)
+                            reply = client.reshard(plan.reshard_to)
+                            if reply["reshard"]["to"] != plan.reshard_to:
+                                failures.append(
+                                    ChaosFailure(plan.label, f"bad reshard reply {reply!r}")
+                                )
+                client.drain()
+                got = self._service_results(client)
+                stats = client.stats()
+        finally:
+            handle.stop()
+        failures.extend(
+            ChaosFailure(plan.label, difference)
+            for difference in compare_results(expected, got)
+        )
+        if stats["pipeline"]["reshard_events"] < 1:
+            failures.append(ChaosFailure(plan.label, "no ReshardEvent recorded"))
+        if stats["pipeline"]["recoveries_healed"] < 1:
+            failures.append(
+                ChaosFailure(
+                    plan.label, "dead worker was not healed during the reshard harvest"
+                )
+            )
+        if stats["n_shards"] != plan.reshard_to:
+            failures.append(
+                ChaosFailure(
+                    plan.label,
+                    f"service reports n_shards={stats['n_shards']}, "
+                    f"resharded to {plan.reshard_to}",
+                )
+            )
+        return failures
+
+    def _run_shed(self, campaign: Campaign, plan: FaultPlan) -> List[ChaosFailure]:
+        """Forced rejection, then client replay: zero loss, full order."""
+        from ..service.admission import ServiceOverloadedError
+        from ..service.server import ServiceConfig, start_service_in_thread
+        from ..service.smoke import (
+            build_service_pipeline,
+            compare_results,
+            reference_results,
+        )
+
+        failures: List[ChaosFailure] = []
+        expected = reference_results(campaign)
+        handle = start_service_in_thread(
+            lambda: build_service_pipeline(
+                campaign,
+                engine=plan.engine,
+                n_shards=plan.n_shards,
+                backend=plan.backend,
+            ),
+            ServiceConfig(),
+        )
+        try:
+            with handle.client() as client:
+                batch_index = -1
+                for event in campaign.events:
+                    if event.kind == "batch" and event.alerts:
+                        batch_index += 1
+                        if batch_index == plan.fault_event:
+                            # Admission slams shut; the un-retried probe
+                            # must be refused (nothing half-enqueued)...
+                            client.throttle("reject")
+                            try:
+                                client.request(
+                                    {
+                                        "op": "batch",
+                                        "alerts": [a.to_dict() for a in event.alerts],
+                                    }
+                                )
+                            except ServiceOverloadedError:
+                                pass
+                            else:
+                                failures.append(
+                                    ChaosFailure(
+                                        plan.label, "forced reject admitted a batch"
+                                    )
+                                )
+                            # ...and once reopened, the client replays
+                            # the same batch at the same stream position.
+                            client.throttle("open")
+                    self._drive_event(client, event)
+                client.drain()
+                got = self._service_results(client)
+                stats = client.stats()
+        finally:
+            handle.stop()
+        failures.extend(
+            ChaosFailure(plan.label, difference)
+            for difference in compare_results(expected, got)
+        )
+        if stats["admission"]["rejected_batches"] < 1:
+            failures.append(
+                ChaosFailure(plan.label, "no rejection recorded by admission control")
+            )
+        if stats["pipeline"]["dropped_raw"] or stats["pipeline"]["dropped_alerts"]:
+            failures.append(
+                ChaosFailure(
+                    plan.label,
+                    "reject tier must be lossless, but drop counters moved",
+                )
+            )
+        return failures
+
     # -- poison: typed mid-batch detector crash --------------------------
     def _run_poison(self, campaign: Campaign, plan: FaultPlan) -> List[ChaosFailure]:
         failures: List[ChaosFailure] = []
@@ -664,6 +996,7 @@ class ChaosOracle:
 
 __all__ = [
     "FAULT_KINDS",
+    "SERVICE_FAULT_KINDS",
     "FaultPlan",
     "ChaosPoisonDetector",
     "ChaosFailure",

@@ -63,6 +63,11 @@ COMPARED_COUNTERS = (
     "blocked_sources",
     "normalization_drop_rate",
     "filter_reduction",
+    # Deterministic drop accounting (a pure function of mirror buffer
+    # configuration and the stream; the oracle pipelines run unbounded
+    # mirrors, so both sides must report zero).
+    "dropped_raw",
+    "dropped_alerts",
 )
 
 #: Inverse of the Zeek notice table (alert name -> notice name).

@@ -1,0 +1,113 @@
+"""CLI entry point: run the always-on detection service.
+
+::
+
+    python -m repro.service [--port 7341] [--shards 4 --backend process]
+    python -m repro.service --smoke        # CI socket bit-identity gate
+
+The server announces ``LISTENING <port>`` on stdout once bound (so
+supervisors and tests can parse the ephemeral port), then serves until
+SIGTERM/SIGINT, at which point it drains everything admitted, writes a
+final checkpoint (when ``--checkpoint-dir`` is set), and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+from ..core.attack_tagger import AttackTagger
+from ..incidents import DEFAULT_CATALOGUE
+from ..testbed.pipeline import TestbedPipeline
+from .admission import AdmissionLimits
+from .server import DetectionService, ServiceConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Always-on streaming detection service (JSONL over TCP).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument(
+        "--backend", choices=("serial", "process"), default="process"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("streaming", "rebuild", "naive", "batched"),
+        default="streaming",
+    )
+    parser.add_argument(
+        "--restart-policy", choices=("raise", "restore"), default="restore"
+    )
+    parser.add_argument("--max-window", type=int, default=256)
+    parser.add_argument("--threshold", type=float, default=0.7)
+    parser.add_argument("--checkpoint-dir", type=Path, default=None)
+    parser.add_argument("--checkpoint-interval", type=float, default=0.0)
+    parser.add_argument("--keep-last", type=int, default=3)
+    parser.add_argument("--dead-letter", type=Path, default=None)
+    parser.add_argument("--capacity", type=int, default=64)
+    parser.add_argument("--per-connection", type=int, default=16)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the pinned socket bit-identity gate and exit",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.smoke:
+        from .smoke import run_service_smoke
+
+        return run_service_smoke()
+
+    def build_pipeline() -> TestbedPipeline:
+        tagger = AttackTagger(
+            patterns=list(DEFAULT_CATALOGUE),
+            engine=args.engine,
+            max_window=args.max_window,
+            detection_threshold=args.threshold,
+        )
+        return TestbedPipeline(
+            detectors={"factor_graph": tagger},
+            n_shards=args.shards,
+            shard_backend=args.backend,
+            restart_policy=args.restart_policy,
+            backoff_base=0.001,
+        )
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        limits=AdmissionLimits(
+            global_capacity=args.capacity, per_connection=args.per_connection
+        ),
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        keep_last=args.keep_last,
+        dead_letter_path=args.dead_letter,
+    )
+
+    async def run() -> None:
+        pipeline = build_pipeline()
+        service = DetectionService(pipeline, config)
+        try:
+            await service.serve_forever(
+                ready=lambda s: print(f"LISTENING {s.port}", flush=True)
+            )
+        finally:
+            pipeline.close()
+        print(f"STOPPED {service.shutdown_reason}", flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,8 @@ from .sharding import (
     RESTART_POLICIES,
     RecoveryEvent,
     RecoveryLog,
+    ReshardEvent,
+    ReshardLog,
     ShardRecoveryError,
     ShardedDetectorPool,
     ShardWorkerError,
@@ -145,6 +147,8 @@ __all__ = [
     "PoolCloseResult",
     "RecoveryEvent",
     "RecoveryLog",
+    "ReshardEvent",
+    "ReshardLog",
     "ShardedDetectorPool",
     "ShardRecoveryError",
     "ShardWorkerError",

@@ -443,6 +443,31 @@ class TestbedPipeline:
         """
         self._queue_detector_control(("reopen", None))
 
+    def reshard(self, n_shards: int) -> None:
+        """Live N→M reshard of every detector pool, deferred-safe.
+
+        Drives :meth:`repro.testbed.sharding.ShardedDetectorPool
+        .reshard` on every pool: per-entity detector state is migrated
+        wholesale to the shards that own it under the new count, so
+        detections after the transition are bit-identical to a pipeline
+        constructed with ``n_shards=M`` fed the same stream.  Like the
+        other detector controls, a reshard requested while a detection
+        batch is in flight is deferred to the next submission boundary
+        (after that batch is collected, before the next is submitted) --
+        the quiescing that keeps in-flight tickets and the migration
+        strictly ordered.
+
+        On success ``pipeline.n_shards`` and the ``detectors`` facade
+        mapping are updated; a checkpoint taken afterwards records (and
+        restore requires) the *new* shard count.  ``shard_backend`` is
+        unchanged -- resharding moves state across shards, not across
+        backends.
+        """
+        count = int(n_shards)
+        if count < 1:
+            raise ValueError("n_shards must be >= 1")
+        self._queue_detector_control(("reshard", count))
+
     def _queue_detector_control(self, control: tuple[str, Optional[str]]) -> None:
         if self.detection_stage.pending_batches:
             self._deferred_controls.append(control)
@@ -464,11 +489,23 @@ class TestbedPipeline:
                     pool.reset()
                 elif verb == "reopen":
                     pool.reopen()
+                elif verb == "reshard":
+                    pool.reshard(payload)
                 else:
                     raise ValueError(f"unknown detector control {verb!r}")
             except Exception as exc:
                 if error is None:
                     error = exc
+        if verb == "reshard":
+            # The facade mapping must reflect the pools' real shape
+            # even after a partial failure (pool.shards[0] only exists
+            # for single-serial pools).
+            self.detectors = {
+                name: (pool.shards[0] if self._is_facade_pool(pool) else pool)
+                for name, pool in self.detector_pools.items()
+            }
+            if error is None:
+                self.n_shards = int(payload)
         if error is not None:
             raise error
 
@@ -497,6 +534,54 @@ class TestbedPipeline:
         actions = self._run_stage(self.response_stage, new_detections)
         self.stats.responses += len(actions)
         return new_detections
+
+    # ------------------------------------------------------------------
+    # Two-phase ingestion (the always-on service driver)
+    # ------------------------------------------------------------------
+    @property
+    def inflight_detection_batches(self) -> int:
+        """Submitted-but-uncollected detection batches."""
+        return self.detection_stage.pending_batches
+
+    def submit_alerts(self, alerts: Iterable[Alert]) -> None:
+        """Phase 1: normalise-count, filter, and submit one alert batch.
+
+        The public face of the overlapped schedule for callers that own
+        the event loop themselves (the asyncio service in
+        :mod:`repro.service`): ``submit_alerts`` ships the batch to the
+        detection stage and returns; :meth:`collect_detections`
+        finishes it.  Interleaving exactly one in-flight batch with
+        other work reproduces the double-buffered driver's schedule, so
+        detections, responses, and counters are bit-identical to
+        :meth:`ingest_alerts` over the same batches.  Raw records
+        published directly on the mirror are *not* drained here -- feed
+        raw traffic through :meth:`submit_raw` instead.
+        """
+        alerts = list(alerts)
+        self.stats.raw_records += len(alerts)
+        self.stats.normalized_alerts += len(alerts)
+        self._submit_detection(self._prep_filtered(alerts))
+
+    def submit_raw(self, records: Iterable[RawLogRecord]) -> None:
+        """Phase 1 for raw monitor records: mirror, normalise, filter, submit.
+
+        Any records already pending on the mirror join this batch (the
+        service is the only publisher in the service topology, so the
+        pending list is normally empty).
+        """
+        for record in records:
+            self.mirror.publish_raw(record)
+        self._submit_detection(self._prep_filtered(self._take_pending_normalized()))
+
+    def collect_detections(self) -> list[Detection]:
+        """Phase 2: finish the oldest in-flight batch and respond.
+
+        Returns the batch's detections (empty list when nothing is in
+        flight, so drain loops can call it unconditionally).
+        """
+        if not self.detection_stage.pending_batches:
+            return []
+        return self._collect_and_respond()
 
     # ------------------------------------------------------------------
     # Scanner handling (black-hole path, separate from the model path)
@@ -557,9 +642,30 @@ class TestbedPipeline:
             # 0.0 for per-alert engines.  Timing, so excluded from the
             # differential oracle's compared counters.
             "detect_kernel_seconds": sum(
-                sum(pool.kernel_seconds) for pool in self.detector_pools.values()
+                sum(pool.kernel_seconds) + pool.kernel_seconds_retired
+                for pool in self.detector_pools.values()
             ),
             "response_seconds": self.stats.response_seconds,
+            # Load-shedding and fault-domain accounting: the one place
+            # admission control and operators read drop/recovery state.
+            # The dropped counters are deterministic (a pure function of
+            # buffer configuration and the stream) and compared by the
+            # differential oracle; the recovery/reshard ops counters are
+            # run-dependent and excluded.
+            "dropped_raw": float(self.mirror.stats.dropped_raw),
+            "dropped_alerts": float(self.mirror.stats.dropped_alerts),
+            "recovery_attempts": float(
+                sum(len(pool.recovery_log) for pool in self.detector_pools.values())
+            ),
+            "recoveries_healed": float(
+                sum(
+                    len(pool.recovery_log.healed)
+                    for pool in self.detector_pools.values()
+                )
+            ),
+            "reshard_events": float(
+                sum(len(pool.reshard_log) for pool in self.detector_pools.values())
+            ),
             "stage_seconds": dict(self.stats.stage_seconds),
         }
 

@@ -135,6 +135,43 @@ class ShardRecoveryError(ShardWorkerError):
 
 
 @dataclasses.dataclass(frozen=True)
+class ReshardEvent:
+    """One live N→M reshard of the pool (see :meth:`ShardedDetectorPool.reshard`)."""
+
+    old_n_shards: int
+    new_n_shards: int
+    backend: str
+    #: Entities whose per-entity detector state was migrated.
+    entities_moved: int
+    #: Per-shard telemetry totals at the moment of the reshard (the
+    #: per-shard arrays are re-zeroed at the new width; the busy/kernel
+    #: totals also accumulate on the pool's ``*_retired`` counters).
+    alerts_routed_before: int
+    busy_seconds_before: float
+    kernel_seconds_before: float
+    #: Shards whose worker was dead at harvest time and whose replica
+    #: was rebuilt parent-side from the recovery snapshot + replay log.
+    rebuilt_shards: Tuple[int, ...]
+    reshard_seconds: float
+
+
+class ReshardLog:
+    """Append-only record of every live reshard (an operations log)."""
+
+    def __init__(self) -> None:
+        self.events: List[ReshardEvent] = []
+
+    def record(self, event: ReshardEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+@dataclasses.dataclass(frozen=True)
 class RecoveryEvent:
     """One supervised restart of a dead shard worker."""
 
@@ -533,6 +570,8 @@ class ShardedDetectorPool:
         #: Every supervised worker recovery ever performed (survives
         #: reset/reopen: it is an operations log, not pool state).
         self.recovery_log = RecoveryLog()
+        #: Every live N→M reshard ever performed (same ops-log status).
+        self.reshard_log = ReshardLog()
         self.detector_factory = detector_factory
         self._detections: List[Detection] = []
         # entity -> shard memo; `shard_of()` stays the documented source
@@ -549,6 +588,13 @@ class ShardedDetectorPool:
         #: inside its vectorised decode kernel (always 0.0 for
         #: detectors without a ``kernel_seconds`` counter).
         self.kernel_seconds: List[float] = [0.0] * self.n_shards
+        #: Busy/kernel/routed totals accumulated by shard layouts that
+        #: :meth:`reshard` retired -- the per-shard arrays above are
+        #: re-zeroed at the new width, these keep cumulative telemetry
+        #: monotone across reshards.
+        self.busy_seconds_retired = 0.0
+        self.kernel_seconds_retired = 0.0
+        self.alerts_routed_retired = 0
         self.shards: List[Detector] = []
         self._workers: List[_ProcessShard] = []
         self._pending: Deque[_PendingBatch] = collections.deque()
@@ -620,20 +666,44 @@ class ShardedDetectorPool:
         self._unacked: List[int] = [0] * self.n_shards
         self._restarts_used: List[int] = [0] * self.n_shards
 
-    #: Entity->shard memo entries kept before the cache is dropped and
-    #: rebuilt (bounds parent-process memory on high-cardinality
-    #: entity streams; routing stays correct either way).
-    _SHARD_CACHE_LIMIT = 1 << 20
+    #: Entity->shard memo entries kept (LRU): bounds parent-process
+    #: memory on the unbounded-cardinality entity streams a long-lived
+    #: service sees.  Routing stays correct either way -- an evicted
+    #: entity just pays one crc32 again.  Per-instance override:
+    #: assign ``pool.shard_cache_limit``.
+    _SHARD_CACHE_LIMIT = 1 << 17
 
     # -- routing -----------------------------------------------------------
+    @property
+    def shard_cache_limit(self) -> int:
+        """Max entity->shard memo entries before LRU eviction."""
+        return getattr(self, "_shard_cache_limit", self._SHARD_CACHE_LIMIT)
+
+    @shard_cache_limit.setter
+    def shard_cache_limit(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("shard_cache_limit must be >= 1")
+        self._shard_cache_limit = int(limit)
+        while len(self._shard_cache) > self._shard_cache_limit:
+            self._shard_cache.pop(next(iter(self._shard_cache)))
+
     def shard_of(self, entity: str) -> int:
-        """The shard the entity's alerts are routed to (memoised)."""
-        shard = self._shard_cache.get(entity)
+        """The shard the entity's alerts are routed to (memoised, LRU).
+
+        The memo exploits dict insertion order as recency order: a hit
+        re-inserts the entry at the back, so eviction of the front
+        entry (``next(iter(...))``) is least-recently-used.  That keeps
+        the hot working set resident even when total entity cardinality
+        far exceeds the cap -- the clear-everything alternative would
+        periodically forget the hot entities too.
+        """
+        cache = self._shard_cache
+        shard = cache.pop(entity, None)
         if shard is None:
-            if len(self._shard_cache) >= self._SHARD_CACHE_LIMIT:
-                self._shard_cache.clear()
+            if len(cache) >= self.shard_cache_limit:
+                cache.pop(next(iter(cache)))
             shard = shard_of(entity, self.n_shards)
-            self._shard_cache[entity] = shard
+        cache[entity] = shard
         return shard
 
     def _partition(
@@ -1017,6 +1087,9 @@ class ShardedDetectorPool:
         self.alerts_routed = [0] * self.n_shards
         self.busy_seconds = [0.0] * self.n_shards
         self.kernel_seconds = [0.0] * self.n_shards
+        self.busy_seconds_retired = 0.0
+        self.kernel_seconds_retired = 0.0
+        self.alerts_routed_retired = 0
 
     def reset(self) -> None:
         """Forget all shard state and past detections."""
@@ -1070,6 +1143,257 @@ class ShardedDetectorPool:
                 # so a later heal cannot resurrect the forgotten state.
                 self._refresh_snapshot_now(shard)
 
+    # -- live resharding ---------------------------------------------------
+    def _migration_factory(self) -> DetectorTemplate:
+        """A per-shard replica factory usable at the *new* shard count.
+
+        ``wrap()``'s :class:`_IdentityFactory` hands out the same
+        object on every call -- correct for the single-shard facade,
+        wrong for any fan-out -- so resharding converts it into a
+        :class:`DetectorTemplate` over the wrapped detector (whose
+        ``clone()`` produces pristine replicas).  The conversion is
+        recorded on the pool, so heals and reopens after the reshard
+        use the template too.
+        """
+        factory = self.detector_factory
+        if isinstance(factory, _IdentityFactory):
+            clone = getattr(factory.detector, "clone", None)
+            if not callable(clone):
+                raise TypeError(
+                    "cannot reshard a wrap()-facade pool: the wrapped "
+                    f"detector {type(factory.detector).__name__} has no "
+                    "clone() to build additional replicas from"
+                )
+            factory = DetectorTemplate(factory.detector)
+            self.detector_factory = factory
+        return factory
+
+    def _rebuild_replica(self, shard: int) -> Detector:
+        """Reconstruct a dead shard's replica parent-side.
+
+        The supervised bookkeeping already holds everything needed:
+        the last recovery snapshot (pristine factory state if none was
+        taken yet) plus the FIFO replay log of packed sub-batches
+        observed since it.  Unlike :meth:`_heal_shard` no worker is
+        respawned -- the caller (reshard) is about to tear the worker
+        layout down anyway, so the replica is rebuilt in the parent.
+        """
+        snapshot = self._shard_snapshots[shard]
+        if snapshot is not None:
+            detector = pickle.loads(snapshot)
+        else:
+            detector = self.detector_factory()
+        for payload in self._replay_log[shard]:
+            batch = unpack_alert_columns(payload)
+            observe_batch = getattr(detector, "observe_batch", None)
+            if observe_batch is not None:
+                observe_batch(batch)
+            else:
+                for alert in batch:
+                    detector.observe(alert)
+        return detector
+
+    def _harvest_replicas(self) -> Tuple[List[Detector], List[int]]:
+        """Current per-shard replicas as parent-side detector objects.
+
+        Serial shards are already in the parent.  Process shards answer
+        the ``snapshot`` verb; a shard whose worker died (e.g.
+        SIGKILLed mid-stream) is -- under ``restart_policy="restore"``
+        and within the restart budget -- rebuilt parent-side from its
+        recovery snapshot + replay log instead of failing the whole
+        reshard.  Returns ``(replicas, rebuilt_shard_indices)``.
+        """
+        if self.backend == "serial":
+            return list(self.shards), []
+        replicas: List[Detector] = []
+        rebuilt: List[int] = []
+        for shard, worker in enumerate(self._workers):
+            blob: Optional[bytes] = None
+            detail = "shard worker pipe closed before reshard snapshot"
+            if worker.send("snapshot"):
+                status, payload = worker.receive()
+                if status == "ok":
+                    blob = payload
+                elif status == "error":
+                    # The worker is alive but its replica would not
+                    # pickle -- rebuilding from the supervision log
+                    # cannot help, surface it.
+                    raise ShardWorkerError(shard, str(payload))
+                else:  # dead / timeout
+                    detail = str(payload)
+            if blob is not None:
+                replicas.append(pickle.loads(blob))
+                continue
+            if not self._supervised:
+                raise ShardWorkerError(shard, detail)
+            if self._restarts_used[shard] >= self.max_restarts:
+                raise ShardRecoveryError(
+                    shard, detail, self._restarts_used[shard]
+                )
+            started = time.perf_counter()
+            self._restarts_used[shard] += 1
+            replicas.append(self._rebuild_replica(shard))
+            rebuilt.append(shard)
+            self.recovery_log.record(
+                RecoveryEvent(
+                    shard=shard,
+                    attempt=self._restarts_used[shard],
+                    backoff_seconds=0.0,
+                    resubmitted_batches=len(self._replay_log[shard]),
+                    death_detail=detail,
+                    healed=True,
+                    recovery_seconds=time.perf_counter() - started,
+                )
+            )
+        return replicas, rebuilt
+
+    def reshard(self, n_shards: int) -> ReshardEvent:
+        """Live N→M reshard: migrate per-entity detector state in place.
+
+        Because all detector state is per-entity and routing is a pure
+        function of the entity (``crc32(entity) % n_shards``), moving
+        every entity's state wholesale to the shard that owns it under
+        the new count -- and nothing else -- reproduces exactly the
+        state a pool *constructed* with ``n_shards=M`` would have
+        reached on the same stream.  Detections were already merged
+        back into stream order at collect time, so subsequent output is
+        bit-identical across the transition.
+
+        Mechanics: every current replica is harvested into the parent
+        (serial: the live objects; process: the ``snapshot`` verb, with
+        a supervised parent-side rebuild for SIGKILLed workers), the
+        per-entity tracks are exported via the detectors' optional
+        migration extension (``export_entity_tracks`` /
+        ``adopt_entity_track`` / ``replace_detections`` -- see
+        :class:`repro.core.detector.Detector`) and re-routed into M
+        fresh replicas, and -- for the process backend -- the old
+        workers are shut down and M new ones spawned and restored from
+        the migrated replicas.  Requires an idle pool: callers must
+        collect in-flight tickets first (the pipeline's ``reshard``
+        control defers to a submission boundary for exactly this
+        reason).
+
+        Telemetry arrays (``alerts_routed``/``busy_seconds``/
+        ``kernel_seconds``) are re-zeroed at the new width; their
+        totals accumulate on the ``*_retired`` counters and in the
+        returned :class:`ReshardEvent` (also appended to
+        :attr:`reshard_log`).
+        """
+        self._require_idle("reshard")
+        new_n = int(n_shards)
+        if new_n < 1:
+            raise ValueError("n_shards must be >= 1")
+        started = time.perf_counter()
+        old_n = self.n_shards
+        factory = self._migration_factory()
+        replicas, rebuilt = self._harvest_replicas()
+        fresh: List[Detector] = [factory() for _ in range(new_n)]
+        moved = 0
+        for replica in replicas:
+            export = getattr(replica, "export_entity_tracks", None)
+            if export is None:
+                raise TypeError(
+                    f"detector {type(replica).__name__} does not support "
+                    "live resharding: it lacks the export_entity_tracks/"
+                    "adopt_entity_track migration extension"
+                )
+            for entity, track in export().items():
+                target = fresh[shard_of(entity, new_n)]
+                adopt = getattr(target, "adopt_entity_track", None)
+                if adopt is None:
+                    raise TypeError(
+                        f"detector {type(target).__name__} does not support "
+                        "live resharding: it lacks adopt_entity_track"
+                    )
+                adopt(entity, track)
+                moved += 1
+        # Rebuild each replica's own detection log from the pool-level
+        # merged log (complete and stream-ordered), filtered by the new
+        # routing, so `replica.detections` introspection stays
+        # consistent with a pool constructed at the new count.
+        for index, replica in enumerate(fresh):
+            replace = getattr(replica, "replace_detections", None)
+            if replace is not None:
+                replace(
+                    [
+                        detection
+                        for detection in self._detections
+                        if shard_of(detection.entity, new_n) == index
+                    ]
+                )
+        blobs: List[bytes] = []
+        if self.backend == "process":
+            blobs = [
+                pickle.dumps(replica, pickle.HIGHEST_PROTOCOL)
+                for replica in fresh
+            ]
+            # Mark closed before touching workers (mirrors reopen()):
+            # if a respawn below fails the pool must reject batches as
+            # closed, not pose as open with a half-built worker set.
+            self._closed = True
+            for worker in self._workers:
+                worker.close()
+            self._workers = []
+            spawned: List[_ProcessShard] = []
+            try:
+                for shard in range(new_n):
+                    spawned.append(_ProcessShard(shard, factory))
+                delivered = [
+                    worker.send("restore", blob)
+                    for worker, blob in zip(spawned, blobs)
+                ]
+                error: Optional[ShardWorkerError] = None
+                for worker, sent in zip(spawned, delivered):
+                    if not sent:
+                        if error is None:
+                            error = ShardWorkerError(
+                                worker.index,
+                                "shard worker pipe closed before reshard restore",
+                            )
+                        continue
+                    status, payload = worker.receive()
+                    if status != "ok" and error is None:
+                        error = ShardWorkerError(worker.index, str(payload))
+                if error is not None:
+                    raise error
+            except Exception:
+                for worker in spawned:
+                    worker.close()
+                raise
+            self._workers = spawned
+            self._closed = False
+        else:
+            self.shards = fresh
+        routed_before = sum(self.alerts_routed)
+        busy_before = sum(self.busy_seconds)
+        kernel_before = sum(self.kernel_seconds)
+        self.alerts_routed_retired += routed_before
+        self.busy_seconds_retired += busy_before
+        self.kernel_seconds_retired += kernel_before
+        self.n_shards = new_n
+        # The memo maps entities to *old* shard indices: flush it.
+        self._shard_cache.clear()
+        self.alerts_routed = [0] * new_n
+        self.busy_seconds = [0.0] * new_n
+        self.kernel_seconds = [0.0] * new_n
+        self._reset_supervision()
+        if self._supervised:
+            # The migrated replicas are exact recovery snapshots.
+            self._shard_snapshots = list(blobs)
+        event = ReshardEvent(
+            old_n_shards=old_n,
+            new_n_shards=new_n,
+            backend=self.backend,
+            entities_moved=moved,
+            alerts_routed_before=routed_before,
+            busy_seconds_before=busy_before,
+            kernel_seconds_before=kernel_before,
+            rebuilt_shards=tuple(rebuilt),
+            reshard_seconds=time.perf_counter() - started,
+        )
+        self.reshard_log.record(event)
+        return event
+
     # -- checkpointing -----------------------------------------------------
     def snapshot_state(self) -> Dict[str, object]:
         """Capture the pool's full state for a pipeline checkpoint.
@@ -1117,6 +1441,9 @@ class ShardedDetectorPool:
             "alerts_routed": list(self.alerts_routed),
             "busy_seconds": list(self.busy_seconds),
             "kernel_seconds": list(self.kernel_seconds),
+            "busy_seconds_retired": self.busy_seconds_retired,
+            "kernel_seconds_retired": self.kernel_seconds_retired,
+            "alerts_routed_retired": self.alerts_routed_retired,
             "inflight_high_water": self.inflight_high_water,
         }
 
@@ -1173,6 +1500,12 @@ class ShardedDetectorPool:
         self.kernel_seconds = list(
             state.get("kernel_seconds", [0.0] * self.n_shards)
         )
+        # Absent in checkpoints taken before live resharding landed.
+        self.busy_seconds_retired = float(state.get("busy_seconds_retired", 0.0))
+        self.kernel_seconds_retired = float(
+            state.get("kernel_seconds_retired", 0.0)
+        )
+        self.alerts_routed_retired = int(state.get("alerts_routed_retired", 0))
         self.inflight_high_water = int(state["inflight_high_water"])
         if self._supervised:
             self._reset_supervision()
@@ -1272,6 +1605,8 @@ __all__ = [
     "PoolCloseResult",
     "RecoveryEvent",
     "RecoveryLog",
+    "ReshardEvent",
+    "ReshardLog",
     "RESTART_POLICIES",
     "ShardedDetectorPool",
     "ShardRecoveryError",

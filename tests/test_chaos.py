@@ -22,7 +22,7 @@ import pytest
 from repro.core import AttackTagger
 from repro.core.alerts import Alert
 from repro.incidents import DEFAULT_CATALOGUE
-from repro.fuzz import ChaosComposer, ChaosOracle
+from repro.fuzz import SERVICE_FAULT_KINDS, ChaosComposer, ChaosOracle
 from repro.testbed import (
     ShardRecoveryError,
     ShardWorkerError,
@@ -102,6 +102,32 @@ class TestChaosOracleGate:
         verdict = ChaosOracle(workdir=tmp_path).run(campaign, plans)
         assert verdict.legs_run == len(plans) > 0
         assert verdict.ok, [str(f) for f in verdict.failures]
+
+    @pytest.mark.parametrize("index", [0, 1])
+    def test_pinned_service_campaign_passes_every_leg(self, index, tmp_path):
+        """Socket-level fault legs: disconnect / reshard-kill / shed.
+
+        The service analogue of the pinned pipeline campaigns above:
+        each leg starts a real in-process server, streams the campaign
+        over TCP while injecting its fault (a mid-batch client
+        disconnect, a SIGKILL'd shard worker healed during a live
+        N->M reshard, a forced shed-then-replay), and requires the
+        ``results`` surface bit-identical to the offline reference.
+        """
+        composer = ChaosComposer(0, target_alerts=100)
+        campaign, plans = composer.compose_service(index)
+        assert plans, "service campaign must carry at least one fault leg"
+        verdict = ChaosOracle(workdir=tmp_path).run(campaign, plans)
+        assert verdict.legs_run == len(plans) > 0
+        assert verdict.ok, [str(f) for f in verdict.failures]
+
+    def test_service_campaigns_cover_every_fault_kind(self):
+        """Across the pinned gate window, all three service legs occur."""
+        composer = ChaosComposer(0, target_alerts=100)
+        kinds = set()
+        for _, _, plans in composer.service_campaigns(3):
+            kinds.update(plan.kind for plan in plans)
+        assert kinds >= set(SERVICE_FAULT_KINDS)
 
     def test_oracle_rejects_an_unobserved_kill(self, tmp_path):
         """Negative control: if the fault never fires, the leg must FAIL."""

@@ -1,0 +1,654 @@
+"""The always-on detection service: protocol, admission, socket legs.
+
+Three layers of coverage for :mod:`repro.service`:
+
+* unit -- the JSONL protocol codec and serialisers round-trip every
+  result type bit-for-bit; the admission controller's tier thresholds,
+  shed accounting (mirror drop counters + dead-letter journal agree),
+  and the deterministic client backoff policy;
+* socket -- campaigns streamed to an in-process server over a real TCP
+  connection must be bit-identical to the offline reference replay,
+  including across a live reshard, a forced shed, and a checkpoint op
+  whose file restores into an offline pipeline mid-stream;
+* lifecycle -- a real ``python -m repro.service`` subprocess is sent
+  SIGTERM mid-stream and must drain, write a final checkpoint, and
+  exit 0; restoring that checkpoint and replaying the unsent suffix
+  offline reproduces the full-run outputs exactly.
+
+A small hypothesis state machine drives random connect / send /
+control / reshard / drain interleavings against the same invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import signal
+import subprocess
+import sys
+import time
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    precondition,
+    rule,
+    run_state_machine_as_test,
+)
+
+from repro.core import AttackTagger
+from repro.core.alerts import Alert, DEFAULT_VOCABULARY
+from repro.core.detector import Detection
+from repro.core.states import AttackStage, HiddenState
+from repro.incidents import DEFAULT_CATALOGUE
+from repro.telemetry import MonitorKind, RawLogRecord
+from repro.testbed import (
+    CheckpointStore,
+    OperatorNotification,
+    ResponseAction,
+    ResponseRecord,
+    TestbedPipeline,
+    TrafficMirror,
+    read_checkpoint,
+)
+from repro.fuzz.campaign import CampaignComposer
+from repro.fuzz.oracle import COMPARED_COUNTERS
+from repro.service import (
+    AdmissionController,
+    AdmissionLimits,
+    BackoffPolicy,
+    DeadLetterJournal,
+    ProtocolError,
+    ServiceConfig,
+    ServiceError,
+    ServiceOverloadedError,
+    decode_line,
+    detection_from_dict,
+    detection_to_dict,
+    encode_message,
+    notification_to_dict,
+    parse_request,
+    percentile_summary,
+    raw_record_from_dict,
+    raw_record_to_dict,
+    response_record_to_dict,
+    serialize_results,
+    start_service_in_thread,
+)
+from repro.service.smoke import (
+    build_service_pipeline,
+    compare_results,
+    reference_results,
+    stream_campaign,
+)
+
+BENIGN_NAMES = sorted(DEFAULT_VOCABULARY.names_for_stage(AttackStage.BACKGROUND))
+
+
+def _sample_detection() -> Detection:
+    return Detection(
+        entity="user:u001",
+        timestamp=12.5,
+        alert_index=7,
+        trigger=Alert(timestamp=12.5, name="login", entity="user:u001",
+                      attributes={"port": 22}),
+        state=HiddenState.MALICIOUS,
+        confidence=0.875,
+        matched_patterns=("S1", "S7"),
+        state_trajectory=(HiddenState.BENIGN, HiddenState.SUSPICIOUS,
+                          HiddenState.MALICIOUS),
+    )
+
+
+class TestProtocol:
+    def test_encode_is_deterministic_and_newline_framed(self):
+        blob = encode_message({"b": 1, "a": [1.5, "x"]})
+        assert blob == b'{"a":[1.5,"x"],"b":1}\n'
+        assert decode_line(blob) == {"a": [1.5, "x"], "b": 1}
+
+    def test_floats_round_trip_exactly(self):
+        values = [0.1, 1e-17, 2**-53, 6755399441055744.0, float("inf")]
+        decoded = decode_line(encode_message({"v": values}))
+        assert decoded["v"] == values
+        assert decoded["v"][-1] == math.inf
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},  # no op
+            {"op": "warp"},  # unknown op
+            {"op": "batch"},  # missing alerts
+            {"op": "batch", "alerts": "nope"},
+            {"op": "raw", "records": 3},
+            {"op": "control", "verb": "explode"},
+            {"op": "control", "verb": "reset_entity"},  # entity required
+            {"op": "reshard"},  # n_shards required
+            {"op": "reshard", "n_shards": 0},
+            {"op": "throttle", "mode": "sideways"},
+        ],
+    )
+    def test_parse_request_rejects_malformed(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_request(payload)
+
+    def test_parse_request_accepts_canonical_ops(self):
+        request = parse_request({"op": "reshard", "n_shards": 3})
+        assert request.op == "reshard" and request.n_shards == 3
+        request = parse_request(
+            {"op": "control", "verb": "reset_entity", "entity": "user:u1"}
+        )
+        assert request.entity == "user:u1"
+
+    def test_decode_line_rejects_non_object_and_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2, 3]\n")
+        with pytest.raises(ProtocolError):
+            decode_line(b"{not json\n")
+
+    def test_raw_record_round_trip(self):
+        record = RawLogRecord(
+            timestamp=3.25,
+            monitor=MonitorKind.ZEEK,
+            host="login01",
+            message="ssh auth",
+            fields={"id.orig_h": "10.0.0.9", "success": True},
+        )
+        assert raw_record_from_dict(raw_record_to_dict(record)) == record
+
+    def test_detection_round_trip_through_json(self):
+        detection = _sample_detection()
+        wire = json.loads(json.dumps(detection_to_dict(detection)))
+        restored = detection_from_dict(wire)
+        assert restored == detection
+        assert restored.state is HiddenState.MALICIOUS
+        assert restored.state_trajectory == detection.state_trajectory
+
+    def test_serialize_results_surface(self):
+        detection = _sample_detection()
+        notification = OperatorNotification(
+            timestamp=12.5, entity="user:u001", summary="creds", detection=detection
+        )
+        action = ResponseRecord(
+            timestamp=12.5,
+            action=ResponseAction.NOTIFY_OPERATORS,
+            target="user:u001",
+        )
+        surface = serialize_results(
+            [detection], [("factor_graph", detection)], [notification], [action],
+            {"detections": 1.0},
+        )
+        # The whole surface must survive the socket's JSON round-trip
+        # unchanged -- this IS the bit-identity comparison surface.
+        assert json.loads(json.dumps(surface)) == surface
+        assert surface["detection_log"][0][0] == "factor_graph"
+        assert surface["notifications"][0]["detection"] == detection_to_dict(detection)
+        assert surface["actions"][0] == response_record_to_dict(action)
+
+
+class TestAdmission:
+    def _alerts(self, names):
+        return [
+            Alert(timestamp=float(i), name=name, entity="user:u1")
+            for i, name in enumerate(names)
+        ]
+
+    def test_limits_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionLimits(global_capacity=0)
+        with pytest.raises(ValueError):
+            AdmissionLimits(shed_raw_fraction=0.9, shed_low_fraction=0.5)
+
+    def test_tier_thresholds(self):
+        controller = AdmissionController(
+            AdmissionLimits(global_capacity=10, per_connection=4)
+        )
+        assert controller.tier(0, 0) == "admit"
+        assert controller.tier(4, 0) == "admit"
+        assert controller.tier(5, 0) == "shed-raw"  # >= 10 * 0.5
+        assert controller.tier(7, 0) == "shed-raw"  # still below 10 * 0.75
+        assert controller.tier(8, 0) == "shed-low"  # >= 10 * 0.75
+        assert controller.tier(10, 0) == "reject"
+        assert controller.tier(0, 4) == "reject"  # per-connection bound
+        controller.forced_mode = "shed-low"
+        assert controller.tier(0, 0) == "shed-low"
+
+    def test_shed_low_filters_background_and_accounts(self, tmp_path):
+        mirror = TrafficMirror()
+        journal = DeadLetterJournal(tmp_path / "dead.jsonl")
+        controller = AdmissionController(
+            AdmissionLimits(global_capacity=4),
+            mirror=mirror,
+            dead_letter=journal,
+        )
+        controller.forced_mode = "shed-low"
+        batch = self._alerts([BENIGN_NAMES[0], "login", BENIGN_NAMES[1], "sudo"])
+        outcome = controller.admit_alerts(batch, 0, 0)
+        assert outcome.accepted and outcome.tier == "shed-low"
+        assert [a.name for a in outcome.admitted] == ["login", "sudo"]
+        assert outcome.shed == 2
+        # Triple-entry ledger: controller counter, mirror drop counter,
+        # and the dead-letter journal must all agree.
+        assert controller.shed_low_priority_alerts == 2
+        assert mirror.stats.dropped_alerts == 2
+        assert journal.count == 2
+        replayable = DeadLetterJournal.read(tmp_path / "dead.jsonl")
+        assert [Alert.from_dict(e["payload"]).name for e in replayable] == [
+            BENIGN_NAMES[0],
+            BENIGN_NAMES[1],
+        ]
+
+    def test_shed_raw_drops_whole_batch(self):
+        mirror = TrafficMirror()
+        controller = AdmissionController(mirror=mirror)
+        controller.forced_mode = "shed-raw"
+        records = [
+            RawLogRecord(
+                timestamp=1.0, monitor=MonitorKind.SYSLOG, host="h", message="m"
+            )
+        ] * 3
+        outcome = controller.admit_raw(records, 0, 0)
+        assert outcome.accepted and outcome.admitted == () and outcome.shed == 3
+        assert mirror.stats.dropped_raw == 3
+
+    def test_reject_is_lossless_but_counted(self):
+        controller = AdmissionController(AdmissionLimits(retry_after=0.25))
+        controller.forced_mode = "reject"
+        outcome = controller.admit_alerts(self._alerts(["login"]), 0, 0)
+        assert not outcome.accepted
+        assert outcome.retry_after == 0.25
+        assert controller.rejected_batches == 1
+        # Nothing was shed: a reject leaves the drop ledgers untouched.
+        assert controller.shed_low_priority_alerts == 0
+
+    def test_backoff_policy_is_deterministic_and_capped(self):
+        policy = BackoffPolicy(base_delay=0.02, factor=2.0, max_delay=0.1)
+        assert [policy.delay(a) for a in range(5)] == [
+            0.02, 0.04, 0.08, 0.1, 0.1,
+        ]
+
+    def test_percentile_summary_nearest_rank(self):
+        summary = percentile_summary(deque(float(v) for v in range(1, 101)))
+        assert summary["count"] == 100
+        assert summary["p50"] == 50.0
+        assert summary["p99"] == 99.0
+        assert summary["max"] == 100.0
+        assert percentile_summary(deque())["count"] == 0
+
+
+# ----------------------------------------------------------------------
+# Socket end-to-end (in-process server, real TCP)
+# ----------------------------------------------------------------------
+def _serial_factory(campaign, n_shards=1, engine="streaming"):
+    return lambda: build_service_pipeline(
+        campaign, engine=engine, n_shards=n_shards, backend="serial"
+    )
+
+
+class TestServiceSocket:
+    def test_streamed_campaign_is_bit_identical(self):
+        campaign = CampaignComposer(1, target_alerts=80).compose(0)
+        expected = reference_results(campaign)
+        handle = start_service_in_thread(_serial_factory(campaign), ServiceConfig())
+        with handle, handle.client() as client:
+            hello = client.hello()
+            assert hello["server"] == "repro-detection-service"
+            got = stream_campaign(client, campaign)
+            stats = client.stats()
+        assert compare_results(expected, got) == []
+        assert stats["batches_processed"] > 0
+        assert stats["latency"]["e2e"]["count"] == stats["batches_processed"]
+        assert set(stats["latency"]["stages"]) >= {"detect", "respond"}
+        for key in COMPARED_COUNTERS:
+            assert key in got["counters"]
+
+    def test_live_reshard_over_socket_is_bit_identical(self):
+        campaign = CampaignComposer(1, target_alerts=80).compose(1)
+        expected = reference_results(campaign)
+        handle = start_service_in_thread(
+            _serial_factory(campaign, n_shards=2), ServiceConfig()
+        )
+        with handle, handle.client() as client:
+            got = stream_campaign(
+                client,
+                campaign,
+                reshard_to=3,
+                reshard_at=len(campaign.events) // 2,
+            )
+            stats = client.stats()
+        assert compare_results(expected, got) == []
+        assert stats["n_shards"] == 3
+        assert stats["pipeline"]["reshard_events"] == 1.0
+        assert stats["reshards"] and stats["reshards"][-1]["to"] == 3
+
+    def test_detections_op_pages_with_since(self):
+        campaign = CampaignComposer(1, target_alerts=80).compose(0)
+        handle = start_service_in_thread(_serial_factory(campaign), ServiceConfig())
+        with handle, handle.client() as client:
+            got = stream_campaign(client, campaign)
+            reply = client.detections()
+            total = reply["total"]
+            assert reply["detections"] == got["detections"]
+            assert total == len(got["detections"])
+            tail = client.detections(since=max(0, total - 2))
+            assert tail["detections"] == got["detections"][max(0, total - 2):]
+
+    def test_forced_shed_low_accounts_across_ledgers(self, tmp_path):
+        campaign = CampaignComposer(1, target_alerts=40).compose(0)
+        dead_letter = tmp_path / "dead.jsonl"
+        handle = start_service_in_thread(
+            _serial_factory(campaign),
+            ServiceConfig(dead_letter_path=dead_letter),
+        )
+        benign = [
+            Alert(timestamp=float(i), name=BENIGN_NAMES[i % len(BENIGN_NAMES)],
+                  entity=f"user:u{i}")
+            for i in range(6)
+        ]
+        with handle, handle.client() as client:
+            client.throttle("shed-low")
+            ack = client.send_alerts(benign + [
+                Alert(timestamp=99.0, name="login", entity="user:attacker")
+            ])
+            assert ack["tier"] == "shed-low"
+            assert ack["shed"] == 6 and ack["admitted"] == 1
+            client.throttle("open")
+            client.drain()
+            stats = client.stats()
+        assert stats["admission"]["shed_low_priority_alerts"] == 6
+        assert stats["pipeline"]["dropped_alerts"] == 6.0
+        assert stats["dead_letter_records"] == 6
+        entries = DeadLetterJournal.read(dead_letter)
+        assert len(entries) == 6
+        assert {e["reason"] for e in entries} == {"shed-low-priority"}
+
+    def test_reject_mode_raises_typed_overload(self):
+        campaign = CampaignComposer(1, target_alerts=40).compose(0)
+        handle = start_service_in_thread(_serial_factory(campaign), ServiceConfig())
+        with handle, handle.client() as client:
+            client.throttle("reject")
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                client.request(
+                    {"op": "batch", "alerts": [Alert(1.0, "login", "u").to_dict()]}
+                )
+            assert excinfo.value.retry_after > 0
+            client.throttle("open")
+            # The rejected batch was never enqueued: replaying it now
+            # must land normally (reject is the lossless tier).
+            ack = client.send_alerts([Alert(1.0, "login", "u")])
+            assert ack["tier"] == "admit"
+            stats = client.stats()
+            assert stats["admission"]["rejected_batches"] == 1
+
+    def test_reshard_validation_error_over_socket(self):
+        campaign = CampaignComposer(1, target_alerts=40).compose(0)
+        handle = start_service_in_thread(_serial_factory(campaign), ServiceConfig())
+        with handle, handle.client() as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.reshard(999)
+            assert excinfo.value.kind == "reshard-failed"
+            # The service survives the failed barrier op.
+            assert client.ping()["pong"] is True
+
+    def test_checkpoint_op_restores_into_offline_pipeline(self, tmp_path):
+        campaign = CampaignComposer(1, target_alerts=80).compose(0)
+        batches = [e for e in campaign.events if e.kind == "batch" and e.alerts]
+        cut = max(1, len(batches) // 2)
+        handle = start_service_in_thread(
+            _serial_factory(campaign, n_shards=2),
+            ServiceConfig(checkpoint_dir=tmp_path, keep_last=2),
+        )
+        with handle, handle.client() as client:
+            for event in batches[:cut]:
+                client.send_alerts(list(event.alerts))
+            client.drain()
+            reply = client.checkpoint()
+            path = Path(reply["path"])
+            assert path.exists() and path.parent == tmp_path
+        # Resume offline from the socket-produced checkpoint.
+        with build_service_pipeline(
+            campaign, engine="streaming", n_shards=2, backend="serial"
+        ) as resumed:
+            resumed.restore(path)
+            for event in batches[cut:]:
+                resumed.ingest_alerts(event.alerts)
+            got = [d for _, d in resumed.detections]
+        with build_service_pipeline(
+            campaign, engine="streaming", n_shards=2, backend="serial"
+        ) as reference:
+            for event in batches:
+                reference.ingest_alerts(event.alerts)
+            expected = [d for _, d in reference.detections]
+        assert got == expected
+
+    def test_mutating_ops_rejected_while_draining(self):
+        campaign = CampaignComposer(1, target_alerts=40).compose(0)
+        handle = start_service_in_thread(_serial_factory(campaign), ServiceConfig())
+        with handle, handle.client() as client:
+            client.ping()
+            handle.service.request_shutdown("test")
+            deadline = time.monotonic() + 30.0
+            rejected = False
+            while time.monotonic() < deadline:
+                try:
+                    client.request(
+                        {
+                            "op": "batch",
+                            "alerts": [Alert(1.0, "login", "u").to_dict()],
+                        }
+                    )
+                except ServiceError as exc:
+                    rejected = exc.kind in ("shutting-down", "disconnected")
+                    break
+                time.sleep(0.01)
+            assert rejected
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: a real subprocess, a real SIGTERM
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not hasattr(signal, "SIGTERM"), reason="POSIX signals only")
+class TestGracefulShutdown:
+    def _spawn(self, tmp_path):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "--port", "0",
+                "--shards", "2",
+                "--backend", "serial",
+                "--engine", "streaming",
+                "--max-window", "64",
+                "--threshold", "0.6",
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def test_sigterm_drains_checkpoints_and_resumes_exactly(self, tmp_path):
+        campaign = CampaignComposer(2, target_alerts=120).compose(
+            0
+        )
+        batches = [e for e in campaign.events if e.kind == "batch" and e.alerts]
+        assert len(batches) >= 2
+        cut = max(1, len(batches) // 2)
+
+        proc = self._spawn(tmp_path)
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("LISTENING "), (line, proc.stderr.read())
+            port = int(line.split()[1])
+            from repro.service import ServiceClient
+
+            with ServiceClient("127.0.0.1", port, timeout=120.0) as client:
+                # Lockstep: every one of these batches is acked, hence
+                # admitted, hence covered by the shutdown drain.
+                for event in batches[:cut]:
+                    ack = client.send_alerts(list(event.alerts))
+                    assert ack["tier"] == "admit"
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=120)
+            stdout = proc.stdout.read()
+            assert code == 0, proc.stderr.read()
+            assert "STOPPED" in stdout
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        store = CheckpointStore(tmp_path / "ckpt")
+        final = store.latest()
+        assert final is not None, "SIGTERM must leave a final checkpoint"
+        payload = read_checkpoint(final)
+        assert payload["config"]["n_shards"] == 2
+
+        def pipeline():
+            tagger = AttackTagger(
+                patterns=list(DEFAULT_CATALOGUE),
+                engine="streaming",
+                max_window=64,
+                detection_threshold=0.6,
+            )
+            return TestbedPipeline(
+                detectors={"factor_graph": tagger},
+                n_shards=2,
+                shard_backend="serial",
+            )
+
+        with pipeline() as resumed:
+            resumed.restore(final)
+            # The checkpoint already contains exactly the acked prefix:
+            # the drain-then-checkpoint shutdown processed every batch
+            # the client saw acknowledged, and nothing else.
+            assert resumed.stats.normalized_alerts == sum(
+                len(event.alerts) for event in batches[:cut]
+            )
+            for event in batches[cut:]:
+                resumed.ingest_alerts(event.alerts)
+            got = [d for _, d in resumed.detections]
+        with pipeline() as reference:
+            for event in batches:
+                reference.ingest_alerts(event.alerts)
+            expected = [d for _, d in reference.detections]
+        assert got == expected
+
+
+# ----------------------------------------------------------------------
+# Randomised interleavings: hypothesis state machine
+# ----------------------------------------------------------------------
+def _stream_pool(seed: int = 5, length: int = 96):
+    rng = np.random.default_rng(seed)
+    patterns = list(DEFAULT_CATALOGUE)
+    alerts = []
+    for step in range(length):
+        entity = f"user:u{int(rng.integers(0, 6)):03d}"
+        if rng.random() < 0.5:
+            pattern = patterns[int(rng.integers(0, len(patterns)))]
+            name = pattern.names[int(rng.integers(0, len(pattern.names)))]
+        else:
+            name = BENIGN_NAMES[int(rng.integers(0, len(BENIGN_NAMES)))]
+        alerts.append(Alert(timestamp=float(step + 1), name=name, entity=entity))
+    return alerts
+
+
+_POOL = _stream_pool()
+
+
+def _machine_factory():
+    tagger = AttackTagger(patterns=list(DEFAULT_CATALOGUE), engine="streaming",
+                          max_window=64, detection_threshold=0.6)
+    return TestbedPipeline(detectors={"factor_graph": tagger})
+
+
+class ServiceMachine(RuleBasedStateMachine):
+    """connect/send/control/reshard/drain vs an offline twin.
+
+    Invariant (checked on every drain): the service's ``results``
+    surface equals a synchronous offline pipeline fed the same
+    accepted operations in ack order.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.handle = start_service_in_thread(_machine_factory, ServiceConfig())
+        self.client = self.handle.client()
+        self.ops = []
+
+    @initialize()
+    def hello(self):
+        assert self.client.hello()["version"] == 1
+
+    @rule(start=st.integers(0, len(_POOL) - 1), size=st.integers(1, 12))
+    def send_batch(self, start, size):
+        batch = _POOL[start : start + size]
+        ack = self.client.send_alerts(batch)
+        assert ack["tier"] == "admit"
+        self.ops.append(("batch", batch))
+
+    @rule(entity=st.integers(0, 5))
+    def reset_entity(self, entity):
+        name = f"user:u{entity:03d}"
+        self.client.control("reset_entity", entity=name)
+        self.ops.append(("reset_entity", name))
+
+    @rule(n=st.integers(1, 4))
+    def reshard(self, n):
+        reply = self.client.reshard(n)
+        self.ops.append(("reshard", n))
+        assert reply["reshard"]["to"] == n
+
+    @precondition(lambda self: self.ops)
+    @rule()
+    def drain_and_compare(self):
+        self.client.drain()
+        got = self.client.results()
+        with _machine_factory() as twin:
+            for kind, payload in self.ops:
+                if kind == "batch":
+                    twin.ingest_alerts(payload)
+                elif kind == "reset_entity":
+                    twin.reset_entity(payload)
+                elif kind == "reshard":
+                    twin.reshard(payload)
+            summary = twin.summary()
+            expected = json.loads(json.dumps(serialize_results(
+                twin.detections_by(twin.primary_detector),
+                twin.detections,
+                twin.responder.notifications,
+                twin.responder.actions,
+                {key: summary[key] for key in COMPARED_COUNTERS},
+            )))
+        for field in ("detections", "detection_log", "notifications",
+                      "actions", "counters"):
+            assert got[field] == expected[field], field
+
+    def teardown(self):
+        try:
+            self.client.close()
+        finally:
+            self.handle.stop()
+
+
+def test_service_state_machine():
+    run_state_machine_as_test(
+        ServiceMachine,
+        settings=settings(
+            max_examples=5,
+            stateful_step_count=8,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+        ),
+    )
