@@ -70,6 +70,7 @@ from .admission import (
     ServiceClient,
 )
 from .protocol import (
+    MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
     Request,
@@ -174,6 +175,7 @@ class DetectionService:
         self.detections_emitted = 0
         self.failed_batches = 0
         self.control_failures = 0
+        self.consumer_errors = 0
         self.connections_total = 0
         self.checkpoints_written = 0
         self.shutdown_reason = ""
@@ -196,11 +198,19 @@ class DetectionService:
         """Bind the listener and start the consumer."""
         self._loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
+        # StreamReader's default 64 KiB limit would reset any
+        # in-contract request above it before decode_line ever saw the
+        # line: size the buffer to the protocol bound (plus slack for
+        # the newline) so MAX_LINE_BYTES is the one operative limit.
         self._server = await asyncio.start_server(
-            self._on_connection, self.config.host, self.config.port
+            self._on_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE_BYTES + 1024,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._consumer_task = asyncio.create_task(self._consume())
+        self._consumer_task.add_done_callback(self._on_consumer_exit)
         if self.store is not None and self.config.checkpoint_interval > 0:
             self._ticker_task = asyncio.create_task(self._checkpoint_ticker())
 
@@ -249,14 +259,54 @@ class DetectionService:
         # The stop marker rides the FIFO behind everything already
         # acknowledged: reaching it is the drain guarantee.
         future = self._loop.create_future()
-        self._queue.put_nowait(_WorkItem(kind="stop", future=future))
+        item = _WorkItem(kind="stop", future=future)
+        if self._consumer_task is not None and self._consumer_task.done():
+            # Crashed consumer (see _on_consumer_exit): don't enqueue
+            # a marker nothing will ever reach.
+            self._resolve(item, ("error", "consumer not running"))
+        else:
+            self._queue.put_nowait(item)
         await future
         if self._consumer_task is not None:
-            await self._consumer_task
+            with contextlib.suppress(BaseException):
+                await self._consumer_task
         if self._server is not None:
             with contextlib.suppress(Exception):
                 await self._server.wait_closed()
         self._stopped.set()
+
+    def _on_consumer_exit(self, task: asyncio.Task) -> None:
+        """Fail-stop backstop for a consumer death outside _consume's
+        catch-all (cancellation, a fatal BaseException).
+
+        Once the consumer is gone nothing queued will ever be
+        processed: stop pretending -- refuse new work, fail every
+        queued waiter so barrier clients and shutdown() unblock
+        instead of hanging, and release ``serve_forever``.
+        """
+        if task.cancelled():
+            exc: Optional[BaseException] = asyncio.CancelledError(
+                "consumer task cancelled"
+            )
+        else:
+            exc = task.exception()
+        if exc is None:
+            return
+        detail = f"consumer crashed: {type(exc).__name__}: {exc}"
+        self._stopping = True
+        self.shutdown_reason = self.shutdown_reason or detail
+        with contextlib.suppress(Exception):
+            self.dead_letter.record(
+                "consumer-crashed", "consumer", {"error": detail}
+            )
+        if self._server is not None:
+            self._server.close()
+        if self._ticker_task is not None:
+            self._ticker_task.cancel()
+        while not self._queue.empty():
+            self._resolve(self._queue.get_nowait(), ("error", detail))
+        if self._stopped is not None:
+            self._stopped.set()
 
     # ------------------------------------------------------------------
     # Consumer: the only code that touches the pipeline
@@ -266,10 +316,36 @@ class DetectionService:
             item = await self._queue.get()
             try:
                 stop = self._process(item)
+            except Exception as exc:
+                # _process contains the failures it expects; anything
+                # escaping is a bug.  A dead consumer would silently
+                # turn every later ack into a false durability promise
+                # (and deadlock shutdown on the stop marker), so
+                # contain it: journal, fail the item's waiter, and
+                # keep the loop alive.
+                stop = self._contain_consumer_error(item, exc)
             finally:
                 self._queue.task_done()
             if stop:
                 break
+
+    def _contain_consumer_error(self, item: _WorkItem, exc: BaseException) -> bool:
+        self.consumer_errors += 1
+        self.dead_letter.record(
+            "consumer-error",
+            item.kind,
+            {
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            },
+        )
+        self._resolve(item, ("error", f"{type(exc).__name__}: {exc}"))
+        self._inflight = None
+        with contextlib.suppress(Exception):
+            self._drain_stale_tickets()
+        # A stop marker still stops, even when its processing failed:
+        # shutdown() is awaiting it.
+        return item.kind == "stop"
 
     def _process(self, item: _WorkItem) -> bool:
         if item.conn_id in self._conn_depth:
@@ -444,7 +520,26 @@ class DetectionService:
         seq = 0
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The request line outgrew the protocol bound
+                    # (StreamReader raises before decode_line could
+                    # see it): reply in-protocol, then close -- the
+                    # framing is lost mid-line, so the stream cannot
+                    # be resynchronised.
+                    seq += 1
+                    writer.write(
+                        encode_message(
+                            error_response(
+                                "protocol",
+                                f"request line exceeds {MAX_LINE_BYTES} bytes",
+                                seq,
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
                 if not line or not line.endswith(b"\n"):
                     # EOF, or a partial line cut off by a mid-write
                     # disconnect: either way the client is gone.  Work
@@ -464,7 +559,7 @@ class DetectionService:
                 await writer.drain()
         except asyncio.CancelledError:
             pass
-        except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError):
+        except (ConnectionResetError, BrokenPipeError):
             pass
         except Exception:
             self.dead_letter.record(
@@ -531,6 +626,20 @@ class DetectionService:
                     seq,
                     retry_after=outcome.retry_after,
                 )
+            if not outcome.admitted:
+                # Whole batch shed (or empty): the admission controller
+                # already accounted every record, so don't spend a
+                # queue slot and a connection-depth charge on a no-op
+                # work item.
+                return ok_response(
+                    {
+                        "tier": outcome.tier,
+                        "admitted": 0,
+                        "shed": outcome.shed,
+                        "queued": self._queue.qsize(),
+                    },
+                    seq,
+                )
             item = _WorkItem(
                 kind="alerts" if op == "batch" else "raw",
                 alerts=outcome.admitted if op == "batch" else (),
@@ -590,6 +699,7 @@ class DetectionService:
             "detections_emitted": self.detections_emitted,
             "failed_batches": self.failed_batches,
             "control_failures": self.control_failures,
+            "consumer_errors": self.consumer_errors,
             "connections_total": self.connections_total,
             "queue_depth": self._queue.qsize(),
             "inflight": 0 if self._inflight is None else 1,

@@ -1278,6 +1278,13 @@ class ShardedDetectorPool:
         totals accumulate on the ``*_retired`` counters and in the
         returned :class:`ReshardEvent` (also appended to
         :attr:`reshard_log`).
+
+        Supervision bookkeeping is rebuilt for the new width, but the
+        per-shard restart budget is **not** refreshed: shards that
+        keep their index carry their consumed ``max_restarts``
+        attempts across the transition (only shards new at a wider
+        count start from zero), so periodic resharding cannot mask a
+        crash-looping worker from the recovery-budget contract.
         """
         self._require_idle("reshard")
         new_n = int(n_shards)
@@ -1376,7 +1383,18 @@ class ShardedDetectorPool:
         self.alerts_routed = [0] * new_n
         self.busy_seconds = [0.0] * new_n
         self.kernel_seconds = [0.0] * new_n
+        restarts_used = self._restarts_used
         self._reset_supervision()
+        # Fresh workers, but not a fresh fault history: shards that
+        # keep their index carry their consumed restart budget across
+        # the transition (shards new at a wider count start at zero).
+        # Otherwise a periodic reshard would refresh a crash-looping
+        # worker's budget forever and ShardRecoveryError -- the budget
+        # contract -- could never surface on a long-lived service.
+        self._restarts_used = [
+            restarts_used[shard] if shard < old_n else 0
+            for shard in range(new_n)
+        ]
         if self._supervised:
             # The migrated replicas are exact recovery snapshots.
             self._shard_snapshots = list(blobs)

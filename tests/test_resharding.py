@@ -244,6 +244,44 @@ class TestReshardUnderKill:
         finally:
             pool.close()
 
+    def test_reshard_preserves_consumed_restart_budget(self):
+        # Regression: reshard() reset _restarts_used, so a service
+        # resharding periodically would refresh a crash-looping
+        # worker's budget forever and ShardRecoveryError could never
+        # surface.  Shards that keep their index must carry their
+        # consumed budget across the transition.
+        pool = ShardedDetectorPool.from_template(
+            _tagger(),
+            n_shards=2,
+            backend="process",
+            restart_policy="restore",
+            max_restarts=1,
+            backoff_base=0.001,
+        )
+        try:
+            pool.observe_batch(build_stream(length=20))
+            victim = pool._workers[1]
+            victim.process.kill()
+            victim.process.join(timeout=5.0)
+            # The next batch heals the corpse, consuming the budget.
+            pool.observe_batch(build_stream(seed=9, length=20))
+            assert pool._restarts_used[1] == 1
+            pool.reshard(2)
+            assert pool._restarts_used == [0, 1]
+            # A wider reshard starts brand-new shards at zero but
+            # keeps index-stable shards' consumed attempts.
+            pool.reshard(3)
+            assert pool._restarts_used == [0, 1, 0]
+            # The carried budget is live: the next death of shard 1
+            # finds it exhausted and surfaces the typed error.
+            victim = pool._workers[1]
+            victim.process.kill()
+            victim.process.join(timeout=5.0)
+            with pytest.raises(ShardRecoveryError):
+                pool.observe_batch(build_stream(seed=11, length=40))
+        finally:
+            pool.close()
+
     def test_reshard_exhausted_budget_is_recovery_error(self):
         pool = ShardedDetectorPool.from_template(
             _tagger(),

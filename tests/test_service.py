@@ -82,6 +82,7 @@ from repro.service import (
     serialize_results,
     start_service_in_thread,
 )
+from repro.service.protocol import MAX_LINE_BYTES
 from repro.service.smoke import (
     build_service_pipeline,
     compare_results,
@@ -426,6 +427,115 @@ class TestServiceSocket:
                 reference.ingest_alerts(event.alerts)
             expected = [d for _, d in reference.detections]
         assert got == expected
+
+    def test_in_contract_batch_over_64k_line_is_ingested(self):
+        # Regression: without limit= on asyncio.start_server the
+        # StreamReader's 64 KiB default reset any in-contract request
+        # above it (the client saw a bare disconnect, never a reply).
+        campaign = CampaignComposer(1, target_alerts=40).compose(0)
+        handle = start_service_in_thread(_serial_factory(campaign), ServiceConfig())
+        pad = "x" * 256
+        batch = [
+            Alert(timestamp=float(i + 1), name="login",
+                  entity=f"user:u{i % 7:03d}", attributes={"pad": pad})
+            for i in range(1024)
+        ]
+        wire = encode_message({"op": "batch", "alerts": [a.to_dict() for a in batch]})
+        assert 64 * 1024 < len(wire) < MAX_LINE_BYTES
+        with handle, handle.client() as client:
+            ack = client.send_alerts(batch)
+            assert ack["tier"] == "admit" and ack["admitted"] == 1024
+            client.drain()
+            stats = client.stats()
+        assert stats["pipeline"]["normalized_alerts"] == 1024
+        assert stats["alerts_processed"] == 1024
+
+    def test_oversized_line_replies_protocol_error_then_closes(self):
+        import socket
+
+        campaign = CampaignComposer(1, target_alerts=40).compose(0)
+        handle = start_service_in_thread(_serial_factory(campaign), ServiceConfig())
+        with handle:
+            with socket.create_connection(
+                ("127.0.0.1", handle.port), timeout=120.0
+            ) as sock:
+                sock.sendall(
+                    b'{"op":"ping","pad":"'
+                    + b"x" * (MAX_LINE_BYTES + 4096)
+                    + b'"}\n'
+                )
+                stream = sock.makefile("rb")
+                reply = json.loads(stream.readline())
+                assert reply["ok"] is False
+                assert reply["error"] == "protocol"
+                assert "exceeds" in reply["message"]
+                # Framing is lost mid-line: the server must close.
+                assert stream.readline() == b""
+            # The service survives and keeps serving new connections.
+            with handle.client() as client:
+                assert client.ping()["pong"] is True
+
+    def test_consumer_survives_unexpected_processing_error(self):
+        # Regression: an exception escaping _process (anything other
+        # than the typed shard errors at collect time) killed the
+        # consumer silently -- later acks were never processed and
+        # barriers hung until client timeout.
+        campaign = CampaignComposer(1, target_alerts=40).compose(0)
+        handle = start_service_in_thread(_serial_factory(campaign), ServiceConfig())
+        with handle, handle.client() as client:
+            client.ping()
+            pipeline = handle.pipeline
+            original = pipeline.collect_detections
+
+            def explode():
+                pipeline.collect_detections = original  # one-shot
+                raise RuntimeError("telemetry bug")
+
+            pipeline.collect_detections = explode
+            client.send_alerts([Alert(1.0, "login", "user:u001")])
+            try:
+                client.drain()
+            except ServiceError:
+                pass  # the contained error surfaced on the barrier
+            # The consumer survived: later work is processed normally.
+            ack = client.send_alerts([Alert(2.0, "sudo", "user:u001")])
+            assert ack["tier"] == "admit"
+            client.drain()
+            stats = client.stats()
+        assert stats["consumer_errors"] == 1
+        assert stats["dead_letter_records"] >= 1
+        entries = handle.service.dead_letter.entries
+        assert any(e["reason"] == "consumer-error" for e in entries)
+
+    def test_fully_shed_raw_batch_consumes_no_queue_slot(self):
+        # Regression: a whole-batch shed still enqueued an empty work
+        # item, marching the connection toward its reject threshold
+        # with no-ops.
+        campaign = CampaignComposer(1, target_alerts=40).compose(0)
+        handle = start_service_in_thread(
+            _serial_factory(campaign),
+            ServiceConfig(limits=AdmissionLimits(per_connection=4)),
+        )
+        records = [
+            RawLogRecord(
+                timestamp=1.0, monitor=MonitorKind.SYSLOG, host="h", message="m"
+            )
+        ]
+        with handle, handle.client() as client:
+            client.throttle("shed-raw")
+            # Far more fully-shed batches than the per-connection
+            # bound: none may consume a slot, so none may be rejected.
+            for _ in range(12):
+                ack = client.send_raw(records)
+                assert ack["tier"] == "shed-raw"
+                assert ack["admitted"] == 0 and ack["shed"] == 1
+                assert ack["queued"] == 0
+            client.throttle("open")
+            client.drain()
+            stats = client.stats()
+        assert stats["admission"]["rejected_batches"] == 0
+        assert stats["admission"]["shed_raw_records"] == 12
+        assert stats["batches_processed"] == 0
 
     def test_mutating_ops_rejected_while_draining(self):
         campaign = CampaignComposer(1, target_alerts=40).compose(0)
