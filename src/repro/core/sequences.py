@@ -167,6 +167,7 @@ def pairwise_jaccard_matrix(
         return np.zeros((0, 0), dtype=float)
     membership = np.zeros((n, len(vocab)), dtype=np.float64)
     for i, seq in enumerate(sequences):
+        # staticcheck: disable=determinism -- order-insensitive: each name sets one membership flag to 1.0
         for name in seq.name_set:
             membership[i, vocab.index_of(name)] = 1.0
     sizes = membership.sum(axis=1)

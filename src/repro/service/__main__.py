@@ -94,18 +94,21 @@ def main(argv=None) -> int:
         dead_letter_path=args.dead_letter,
     )
 
-    async def run() -> None:
-        pipeline = build_pipeline()
-        service = DetectionService(pipeline, config)
-        try:
-            await service.serve_forever(
-                ready=lambda s: print(f"LISTENING {s.port}", flush=True)
-            )
-        finally:
-            pipeline.close()
-        print(f"STOPPED {service.shutdown_reason}", flush=True)
+    pipeline = build_pipeline()
+    service = DetectionService(pipeline, config)
 
-    asyncio.run(run())
+    async def run() -> None:
+        await service.serve_forever(
+            ready=lambda s: print(f"LISTENING {s.port}", flush=True)
+        )
+
+    # close() joins worker processes — blocking work that stays outside
+    # the event loop (staticcheck: asyncio-blocking).
+    try:
+        asyncio.run(run())
+    finally:
+        pipeline.close()
+    print(f"STOPPED {service.shutdown_reason}", flush=True)
     return 0
 
 

@@ -109,12 +109,13 @@ class ServiceConfig:
 class _WorkItem:
     """One FIFO entry: an ingest batch, a control, or a barrier marker."""
 
-    kind: str  # alerts | raw | control | reshard | checkpoint | drain | stop
+    kind: str  # alerts | raw | control | reshard | checkpoint | drain | detections | stop
     alerts: tuple = ()
     records: tuple = ()
     verb: str = ""
     entity: str = ""
     n_shards: int = 0
+    since: int = 0
     conn_id: int = -1
     enqueued: float = 0.0
     stage_before: dict = dataclasses.field(default_factory=dict)
@@ -394,6 +395,9 @@ class DetectionService:
         if item.kind == "checkpoint":
             self._resolve(item, self._take_checkpoint())
             return False
+        if item.kind == "detections":
+            self._resolve(item, ("ok", self._detections_result(item.since)))
+            return False
         if item.kind == "drain":
             self._resolve(item, ("ok", self._drain_result()))
             return False
@@ -478,6 +482,13 @@ class DetectionService:
             return ("error", f"{type(exc).__name__}: {exc}")
         self.checkpoints_written += 1
         return ("ok", {"path": str(path), "checkpoints_written": self.checkpoints_written})
+
+    def _detections_result(self, since: int) -> dict:
+        detections = self.pipeline.detections_by(self.pipeline.primary_detector)
+        return {
+            "total": len(detections),
+            "detections": [detection_to_dict(d) for d in detections[since:]],
+        }
 
     def _drain_result(self) -> dict:
         return {
@@ -590,17 +601,6 @@ class DetectionService:
             )
         if op == "stats":
             return ok_response(self.stats_snapshot(), seq)
-        if op == "detections":
-            detections = self.pipeline.detections_by(self.pipeline.primary_detector)
-            return ok_response(
-                {
-                    "total": len(detections),
-                    "detections": [
-                        detection_to_dict(d) for d in detections[request.since :]
-                    ],
-                },
-                seq,
-            )
         if op == "results":
             return ok_response(self.results_snapshot(), seq)
         if op == "throttle":
@@ -668,10 +668,18 @@ class DetectionService:
                 conn_id,
             )
             return ok_response({"queued": self._queue.qsize()}, seq)
-        if op in ("reshard", "checkpoint", "drain"):
+        if op in ("reshard", "checkpoint", "drain", "detections"):
+            # Barrier ops (detections included: only the consumer may
+            # touch the pipeline, and the barrier quiesces the in-flight
+            # batch, so the reply reflects every admitted batch).
             future = self._loop.create_future()
             self._queue.put_nowait(
-                _WorkItem(kind=op, n_shards=request.n_shards, future=future)
+                _WorkItem(
+                    kind=op,
+                    n_shards=request.n_shards,
+                    since=request.since,
+                    future=future,
+                )
             )
             status, payload = await future
             if status != "ok":
@@ -796,16 +804,22 @@ def start_service_in_thread(
             handle.pipeline = pipeline
             service = DetectionService(pipeline, config)
             handle.service = service
-            try:
-                await service.serve_forever(
-                    install_signal_handlers=False, ready=announce
-                )
-            finally:
-                pipeline.close()
+            await service.serve_forever(
+                install_signal_handlers=False, ready=announce
+            )
 
+        # The pipeline is closed *outside* the event loop: close() joins
+        # worker processes, which must not block a coroutine
+        # (staticcheck: asyncio-blocking).  Still the service thread,
+        # so process pools are joined by the thread that spawned them.
         try:
             asyncio.run(main())
+            if handle.pipeline is not None:
+                handle.pipeline.close()
         except BaseException as exc:  # surface startup/crash to the caller
+            if handle.pipeline is not None:
+                with contextlib.suppress(Exception):
+                    handle.pipeline.close()
             handle.error = exc
             ready.set()
 

@@ -1,0 +1,99 @@
+"""Committed-finding baseline: JSON ledger of accepted findings.
+
+The baseline is the triage record: every finding in it was looked at
+once, judged tolerable (or pre-existing), and committed.  CI then fails
+only on findings whose fingerprint is *not* in the ledger — new debt —
+while fixed findings surface as ``stale`` entries to prune with
+``--write-baseline``.
+
+Fingerprints exclude line numbers (see
+:mod:`repro.staticcheck.findings`), so shifting code does not churn the
+ledger; entries still carry the line recorded at write time for human
+readers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, List, Tuple
+
+from .findings import Finding, fingerprint_findings
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "staticcheck_baseline.json"
+
+
+@dataclasses.dataclass
+class BaselineDiff:
+    """Partition of a scan against the committed ledger."""
+
+    new: List[Finding]
+    known: List[Finding]
+    stale: List[dict]  # baseline entries with no matching finding
+
+
+class Baseline:
+    def __init__(self, entries: Dict[str, dict]) -> None:
+        self.entries = entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {version!r}, "
+                f"expected {BASELINE_VERSION}"
+            )
+        entries = {
+            str(entry["fingerprint"]): entry for entry in payload.get("findings", [])
+        }
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries: Dict[str, dict] = {}
+        for finding, fingerprint in fingerprint_findings(findings):
+            entry = finding.to_dict()
+            entry["fingerprint"] = fingerprint
+            entries[fingerprint] = entry
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        ordered = sorted(
+            self.entries.values(),
+            key=lambda e: (e["path"], e["line"], e["col"], e["rule"]),
+        )
+        payload = {"version": BASELINE_VERSION, "findings": ordered}
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def diff(self, findings: List[Finding]) -> BaselineDiff:
+        new: List[Finding] = []
+        known: List[Finding] = []
+        matched: set = set()
+        for finding, fingerprint in fingerprint_findings(findings):
+            if fingerprint in self.entries:
+                known.append(finding)
+                matched.add(fingerprint)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in matched
+        ]
+        return BaselineDiff(new=new, known=known, stale=stale)

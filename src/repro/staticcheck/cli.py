@@ -1,0 +1,180 @@
+"""``python -m repro.staticcheck`` — the CI gate and triage tool.
+
+Modes (all share the scan):
+
+- default: scan, diff against the baseline if one exists (else treat
+  every finding as new), print findings, exit 1 on new findings;
+- ``--check-baseline``: same, but the baseline file is *required* —
+  this is the CI invocation, and a missing ledger should fail loudly
+  rather than silently accept the whole tree;
+- ``--write-baseline``: accept the current findings as the new ledger.
+
+Output is ``--format text`` (human, one ``path:line:col`` per finding)
+or ``--format json`` (machine: findings + stats + baseline diff).
+``--stats`` appends the coverage block — findings per rule, suppression
+usage, files scanned — so the CI log shows at a glance what the gate
+actually checked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .baseline import DEFAULT_BASELINE, Baseline, BaselineDiff
+from .findings import Finding
+from .registry import all_rules
+from .runner import META_RULES, ScanResult, scan_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="AST invariant checker: determinism, pickle-safety, "
+        "asyncio discipline, shard boundaries, semiring hygiene.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--rules",
+        default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline ledger path (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept current findings as the committed baseline",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="CI mode: the baseline file must exist; fail on new findings",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="output_format"
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print per-rule/suppression coverage stats"
+    )
+    return parser
+
+
+def _selected_rules(spec: str):
+    rules = all_rules()
+    if not spec:
+        return rules
+    wanted = {item.strip() for item in spec.split(",") if item.strip()}
+    by_id = {rule.id: rule for rule in rules}
+    unknown = wanted - set(by_id)
+    if unknown:
+        raise SystemExit(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return [by_id[rule_id] for rule_id in sorted(wanted)]
+
+
+def _print_catalogue() -> None:
+    print("staticcheck rule catalogue:")
+    for rule in all_rules():
+        scope = ", ".join(rule.paths) if rule.paths else "all files"
+        print(f"  {rule.id:<22} [{rule.severity}] ({scope})")
+        print(f"      {rule.description}")
+    for meta_id, description in sorted(META_RULES.items()):
+        print(f"  {meta_id:<22} [meta]")
+        print(f"      {description}")
+
+
+def _text_report(result: ScanResult, diff: BaselineDiff, stats: bool) -> None:
+    for finding in diff.new:
+        marker = "NEW " if diff.known or diff.stale else ""
+        print(
+            f"{finding.location}: {marker}{finding.rule} [{finding.severity}] "
+            f"{finding.message}"
+        )
+    if diff.known:
+        print(f"{len(diff.known)} baselined finding(s) not shown (committed debt)")
+    if diff.stale:
+        print(
+            f"{len(diff.stale)} stale baseline entr(ies) — fixed findings; "
+            "refresh with --write-baseline"
+        )
+    if stats:
+        _print_stats(result)
+    if diff.new:
+        print(f"FAIL: {len(diff.new)} new finding(s)")
+    else:
+        print(f"OK: no new findings ({result.files_scanned} files scanned)")
+
+
+def _print_stats(result: ScanResult) -> None:
+    payload = result.stats()
+    print("-- stats --")
+    print(f"files scanned:        {payload['files_scanned']}")
+    print(f"active findings:      {payload['findings_active']}")
+    print(f"suppressed findings:  {payload['findings_suppressed']}")
+    for rule_id, counts in sorted(payload["per_rule"].items()):
+        print(
+            f"  {rule_id:<22} active={counts['active']} "
+            f"suppressed={counts['suppressed']}"
+        )
+    sup = payload["suppressions"]
+    print(
+        f"suppressions:         used={sup['used']} unused={sup['unused']} "
+        f"bare={sup['bare']}"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_catalogue()
+        return 0
+    rules = _selected_rules(args.rules)
+    result = scan_paths(args.paths, rules=rules, root=os.getcwd())
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(args.baseline)
+        print(
+            f"baseline written: {args.baseline} "
+            f"({len(result.findings)} finding(s) accepted)"
+        )
+        if args.stats:
+            _print_stats(result)
+        return 0
+
+    if os.path.exists(args.baseline):
+        baseline = Baseline.load(args.baseline)
+    elif args.check_baseline:
+        print(f"FAIL: baseline {args.baseline} not found (run --write-baseline)")
+        return 2
+    else:
+        baseline = Baseline.empty()
+    diff = baseline.diff(result.findings)
+
+    if args.output_format == "json":
+        payload = {
+            "new": [f.to_dict() for f in diff.new],
+            "known": [f.to_dict() for f in diff.known],
+            "stale": diff.stale,
+            "stats": result.stats(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        _text_report(result, diff, args.stats)
+    return 1 if diff.new else 0
+
+
+def findings_for_paths(paths: Sequence[str]) -> List[Finding]:
+    """Convenience for tests: active findings with default rules."""
+    return scan_paths(paths, root=os.getcwd()).findings

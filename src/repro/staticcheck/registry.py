@@ -1,0 +1,83 @@
+"""Rule base class and registry.
+
+A rule is a stateless object with an ``id``, a default ``severity``, a
+one-line ``description`` (the catalogue entry), optional ``paths``
+scoping, and a ``check(module)`` generator yielding
+:class:`~repro.staticcheck.findings.Finding` records.
+
+Path scoping matches *path fragments* (``core/``, ``service/``) as
+substrings of the forward-slash relative path rather than absolute
+anchors, so the same rule fires on ``src/repro/core/streaming.py`` in
+the real tree and on ``<tmp>/core/snippet.py`` in the fixture suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .findings import Finding
+from .walker import ModuleModel
+
+
+class Rule:
+    """Base class for staticcheck rules; subclass and register."""
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+    #: Path fragments this rule is scoped to; empty = every file.
+    paths: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if not self.paths:
+            return True
+        normal = relpath.replace("\\", "/")
+        return any(fragment in normal for fragment in self.paths)
+
+    def check(self, module: ModuleModel) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- convenience -------------------------------------------------------
+    def finding(
+        self,
+        module: ModuleModel,
+        node,
+        message: str,
+        *,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=severity or self.severity,
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=module.symbol_of(node),
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator: instantiate and register a rule by its id."""
+    instance = cls()
+    if not instance.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if instance.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.id!r}")
+    _REGISTRY[instance.id] = instance
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, importing the bundled rule modules once."""
+    from . import rules  # noqa: F401  (import registers the bundled rules)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    all_rules()
+    return _REGISTRY[rule_id]

@@ -1,0 +1,9 @@
+"""Bundled staticcheck rules; importing this package registers them."""
+
+from . import (  # noqa: F401
+    asyncio_blocking,
+    determinism,
+    pickle_safety,
+    semiring,
+    shard_boundary,
+)

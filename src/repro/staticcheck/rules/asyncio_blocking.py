@@ -1,0 +1,115 @@
+"""Rule ``asyncio-blocking``: coroutines in ``service/`` must not block.
+
+The always-on service (PR 8) runs one asyncio event loop; a single
+blocking call in a coroutine stalls every connection and the consumer's
+ack pipeline.  Three classes of violation, scoped to ``service/``:
+
+- **known blocking calls**: ``time.sleep``, synchronous socket
+  construction, ``subprocess``/``os.system``, ``select.select``,
+  blocking ``open()`` — anywhere in an ``async def`` body;
+- **sync I/O method calls** (``sendall``/``recv``/``accept``/
+  ``connect``/``makefile``/``read``/``readline``/``write`` on a
+  non-awaited receiver): awaited stream calls (``await
+  reader.readline()``) are fine, bare ones block;
+- **pipeline ownership**: only the consumer coroutine may touch the
+  ``TestbedPipeline`` (ack order == stream order depends on it), so any
+  ``*.pipeline.<method>()`` / ``*._pipeline.<method>()`` call inside an
+  ``async def`` outside :data:`CONSUMER_FUNCTIONS` is flagged — other
+  coroutines must enqueue work items instead.
+
+Statements inside nested ``def``s are not treated as part of the
+enclosing coroutine body (they run when called, e.g. via
+``asyncio.to_thread``); nested coroutines are analysed on their own.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..findings import Finding
+from ..registry import Rule, register
+from ..walker import ModuleModel
+
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "socket.socket",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "os.system",
+    "os.wait",
+    "os.waitpid",
+    "select.select",
+    "urllib.request.urlopen",
+    "open",
+    "io.open",
+}
+
+_BLOCKING_METHOD_TAILS = {
+    "sendall", "recv", "recvfrom", "accept", "connect", "makefile",
+    "readline", "readlines",
+}
+
+#: Coroutines allowed to touch the pipeline: the single consumer that
+#: owns it (ack order == stream order is *defined* by this ownership).
+CONSUMER_FUNCTIONS = frozenset({"_consume"})
+
+_PIPELINE_CHAIN = re.compile(r"(^|\.)_?pipeline\.[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@register
+class AsyncioBlockingRule(Rule):
+    id = "asyncio-blocking"
+    severity = "error"
+    description = (
+        "service coroutines must not call blocking primitives or touch "
+        "the pipeline outside the consumer"
+    )
+    paths = ("service/",)
+
+    def check(self, module: ModuleModel) -> Iterable[Finding]:
+        for info in module.functions():
+            if not info.is_async:
+                continue
+            for node in module.function_body_nodes(info.node, skip_nested=True):
+                if not isinstance(node, ast.Call):
+                    continue
+                yield from self._check_call(module, info, node)
+
+    def _check_call(self, module: ModuleModel, info, call: ast.Call):
+        name = module.call_name(call)
+        if name in _BLOCKING_CALLS:
+            yield self.finding(
+                module, call,
+                f"blocking call {name}() inside coroutine {info.symbol}; "
+                "use the asyncio equivalent (asyncio.sleep, streams, "
+                "to_thread) or move it into sync consumer code",
+            )
+            return
+        dotted = module.dotted(call.func) or ""
+        if _PIPELINE_CHAIN.search(dotted):
+            if info.name not in CONSUMER_FUNCTIONS:
+                yield self.finding(
+                    module, call,
+                    f"coroutine {info.symbol} calls {dotted}() directly; "
+                    "only the consumer owns the pipeline — enqueue a work "
+                    "item instead (ack order == stream order)",
+                )
+            return
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _BLOCKING_METHOD_TAILS
+            and not isinstance(module.parent_of(call), ast.Await)
+        ):
+            yield self.finding(
+                module, call,
+                f"potentially blocking .{call.func.attr}() in coroutine "
+                f"{info.symbol} is not awaited; use asyncio streams or "
+                "wrap in asyncio.to_thread",
+            )

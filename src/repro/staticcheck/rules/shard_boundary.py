@@ -1,0 +1,113 @@
+"""Rule ``shard-boundary``: nothing closure-shaped crosses a worker pipe.
+
+``ShardedDetectorPool`` pickles its ``detector_factory`` into worker
+processes (and ``multiprocessing.Process`` targets cross the same
+boundary).  Lambdas, functions nested inside another function, and
+local classes either fail to pickle or silently capture parent state
+that the worker cannot see — the classic "works with the serial
+backend, dies with backend='process'" trap.  The fix is a module-level
+factory (``DetectorTemplate`` is the blessed one).
+
+Flagged argument positions:
+
+- ``ShardedDetectorPool(<factory>, ...)`` / ``detector_factory=<...>``;
+- ``_ProcessShard(index, <factory>)`` (the internal spawn site);
+- ``multiprocessing.Process(target=<...>)``.
+
+An argument is rejected when it is a lambda, a generator expression,
+or a name bound inside the enclosing function to a nested ``def``/
+``class``/lambda (resolved through the module walker's per-function
+binding table — module-level defs are fine, they pickle by reference).
+``functools.partial(<bad>, ...)`` is unwrapped one level.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from ..findings import Finding
+from ..registry import Rule, register
+from ..walker import FunctionInfo, ModuleModel
+
+
+@register
+class ShardBoundaryRule(Rule):
+    id = "shard-boundary"
+    severity = "error"
+    description = (
+        "detector factories and process targets must be module-level "
+        "(no lambdas/closures/local classes across worker pipes)"
+    )
+
+    def check(self, module: ModuleModel) -> Iterable[Finding]:
+        for call in module.iter_calls():
+            for value, role in self._boundary_args(module, call):
+                reason = self._escape_reason(module, call, value)
+                if reason is not None:
+                    yield self.finding(
+                        module, value,
+                        f"{reason} passed as {role} crosses a worker "
+                        "process boundary; use a module-level factory "
+                        "(e.g. DetectorTemplate)",
+                    )
+
+    # -- argument extraction ----------------------------------------------
+    def _boundary_args(
+        self, module: ModuleModel, call: ast.Call
+    ) -> List[Tuple[ast.AST, str]]:
+        name = module.call_name(call) or ""
+        dotted = module.dotted(call.func) or ""
+        out: List[Tuple[ast.AST, str]] = []
+        tail = name.rsplit(".", 1)[-1]
+        if tail == "ShardedDetectorPool" or dotted.endswith("ShardedDetectorPool"):
+            if call.args:
+                out.append((call.args[0], "detector_factory"))
+        elif tail == "_ProcessShard":
+            if len(call.args) >= 2:
+                out.append((call.args[1], "a shard factory"))
+        elif name in ("multiprocessing.Process", "multiprocessing.context.Process"):
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    out.append((keyword.value, "a Process target"))
+        for keyword in call.keywords:
+            if keyword.arg == "detector_factory":
+                out.append((keyword.value, "detector_factory"))
+        return out
+
+    # -- escape analysis ---------------------------------------------------
+    def _escape_reason(
+        self, module: ModuleModel, call: ast.Call, value: ast.AST
+    ) -> Optional[str]:
+        if isinstance(value, ast.Lambda):
+            return "a lambda"
+        if isinstance(value, ast.GeneratorExp):
+            return "a generator expression"
+        if isinstance(value, ast.Call):
+            inner_name = module.call_name(value) or ""
+            if inner_name.rsplit(".", 1)[-1] == "partial" and value.args:
+                return self._escape_reason(module, call, value.args[0])
+            return None
+        if isinstance(value, ast.Name):
+            info = self._enclosing_function(module, call)
+            if info is None:
+                return None
+            bound = info.local_callables.get(value.id)
+            if isinstance(bound, ast.Lambda):
+                return f"a lambda (bound to {value.id!r})"
+            if isinstance(bound, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return f"a function nested in {info.symbol}()"
+            if isinstance(bound, ast.ClassDef):
+                return f"a class local to {info.symbol}()"
+        return None
+
+    def _enclosing_function(
+        self, module: ModuleModel, node: ast.AST
+    ) -> Optional[FunctionInfo]:
+        func = module.enclosing(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if func is None:
+            return None
+        for info in module.functions():
+            if info.node is func:
+                return info
+        return None

@@ -1,0 +1,127 @@
+"""Inline suppressions: ``# staticcheck: disable=RULE[,RULE]  -- reason``.
+
+A suppression comment governs the physical line it sits on; a comment
+that is alone on its line governs the next line of code instead, so
+wide expressions can be suppressed without breaking the line limit:
+
+    crossed = self._watches[k]  # staticcheck: disable=determinism -- drained sorted downstream
+
+    # staticcheck: disable=pickle-safety -- dropped in __getstate__
+    self._scratch = open(path, "rb")
+
+``disable=all`` suppresses every rule on the governed line.  The
+``-- reason`` tail is **mandatory**: a bare suppression does not
+suppress anything and is itself reported by the ``suppression-hygiene``
+meta rule, so every silenced finding carries its justification in the
+diff that silenced it.
+
+Comments are located with :mod:`tokenize` (never by scanning for ``#``,
+which would trip on string literals containing hashes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, List, Optional
+
+_PATTERN = re.compile(
+    r"#\s*staticcheck:\s*disable=([A-Za-z0-9_,\- ]+?)\s*(?:--\s*(\S.*?)\s*)?$"
+)
+
+
+@dataclasses.dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    comment_line: int  # where the comment physically sits
+    governed_line: int  # the code line it applies to
+    rules: FrozenSet[str]  # empty frozenset means "all"
+    reason: Optional[str]
+    used: bool = False
+
+    @property
+    def bare(self) -> bool:
+        return not self.reason
+
+    def matches(self, rule: str) -> bool:
+        return not self.rules or rule in self.rules
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """All suppression comments in a module, with governed lines resolved."""
+    comments: List[tokenize.TokenInfo] = []
+    # (line, had_code) for every physical line that carries a comment.
+    code_on_line: Dict[int, bool] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            comments.append(token)
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+            tokenize.ENCODING,
+        ):
+            for line in range(token.start[0], token.end[0] + 1):
+                code_on_line[line] = True
+
+    out: List[Suppression] = []
+    for token in comments:
+        match = _PATTERN.search(token.string)
+        if not match:
+            continue
+        raw_rules = [r.strip() for r in match.group(1).split(",") if r.strip()]
+        rules: FrozenSet[str] = (
+            frozenset() if "all" in raw_rules else frozenset(raw_rules)
+        )
+        line = token.start[0]
+        governed = line if code_on_line.get(line) else line + 1
+        out.append(
+            Suppression(
+                comment_line=line,
+                governed_line=governed,
+                rules=rules,
+                reason=match.group(2),
+            )
+        )
+    return out
+
+
+class SuppressionIndex:
+    """Lookup of suppressions by governed line, tracking which fired."""
+
+    def __init__(self, suppressions: List[Suppression]) -> None:
+        self.suppressions = suppressions
+        self._by_line: Dict[int, List[Suppression]] = {}
+        for item in suppressions:
+            self._by_line.setdefault(item.governed_line, []).append(item)
+
+    @classmethod
+    def for_source(cls, source: str) -> "SuppressionIndex":
+        return cls(parse_suppressions(source))
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """True (and marks the suppression used) when a justified
+        suppression for ``rule`` governs ``line``."""
+        for item in self._by_line.get(line, []):
+            if item.bare or not item.matches(rule):
+                continue
+            item.used = True
+            return True
+        return False
+
+    @property
+    def bare(self) -> List[Suppression]:
+        return [s for s in self.suppressions if s.bare]
+
+    @property
+    def unused(self) -> List[Suppression]:
+        return [s for s in self.suppressions if not s.bare and not s.used]

@@ -1,0 +1,208 @@
+"""Shared AST module model: parse once, resolve names, walk scopes.
+
+Every rule runs against one :class:`ModuleModel` per file.  The model
+owns the parsed tree plus the cross-cutting machinery rules would
+otherwise each rebuild:
+
+- **parent links** (``parent_of``) and enclosing function/class lookup;
+- **import alias resolution** (``qualified_name``): ``np.random.rand``
+  resolves to ``numpy.random.rand`` through ``import numpy as np``,
+  ``sleep`` to ``time.sleep`` through ``from time import sleep``;
+- **dotted attribute text** (``dotted``): the literal ``self.pipeline
+  .submit_alerts`` chain, for rules keyed on attribute shape rather
+  than import origin;
+- **function table** (``functions``): every ``def``/``async def`` with
+  its dotted symbol (``Class.method``), parameter names, and body-local
+  bindings (nested defs, lambdas bound to names, local classes) for
+  closure/escape analysis.
+
+Relative imports (``from .factor_graph import maxplus_matmul``) resolve
+with the leading dots stripped (``factor_graph.maxplus_matmul``); rules
+therefore match qualified names by suffix, never by exact package root,
+so the same rule fires on fixture snippets and on the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+_SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One ``def``/``async def`` with resolved context."""
+
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    name: str
+    symbol: str  # dotted, e.g. "AttackTagger.observe" or "outer.inner"
+    is_async: bool
+    params: Tuple[str, ...]
+    #: Names bound in this function's body to nested function/class
+    #: definitions or lambdas — values that close over local state and
+    #: must not cross a process boundary.
+    local_callables: Dict[str, ast.AST] = dataclasses.field(default_factory=dict)
+
+
+def _param_names(node) -> Tuple[str, ...]:
+    args = node.args
+    every = (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    )
+    return tuple(a.arg for a in every)
+
+
+class ModuleModel:
+    """Parsed module plus shared resolution machinery (see module doc)."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.aliases = self._collect_aliases()
+        self._functions = self._collect_functions()
+
+    @classmethod
+    def parse(cls, path: str, source: Optional[str] = None) -> "ModuleModel":
+        if source is None:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        tree = ast.parse(source, filename=path)
+        return cls(path, source, tree)
+
+    # -- name resolution ---------------------------------------------------
+    def _collect_aliases(self) -> Dict[str, str]:
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".", 1)[0]
+                    origin = item.name if item.asname else item.name.split(".", 1)[0]
+                    aliases[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    local = item.asname or item.name
+                    origin = f"{base}.{item.name}" if base else item.name
+                    aliases[local] = origin
+        return aliases
+
+    def dotted(self, node: ast.AST) -> Optional[str]:
+        """The literal attribute chain text, un-aliased (``self.x.y``)."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """Attribute chain with the base resolved through import aliases."""
+        raw = self.dotted(node)
+        if raw is None:
+            return None
+        head, _, rest = raw.partition(".")
+        origin = self.aliases.get(head, head)
+        return f"{origin}.{rest}" if rest else origin
+
+    def call_name(self, call: ast.Call) -> Optional[str]:
+        return self.qualified_name(call.func)
+
+    # -- structure ---------------------------------------------------------
+    def parent_of(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def enclosing(self, node: ast.AST, types) -> Optional[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            if isinstance(current, types):
+                return current
+            current = self._parents.get(current)
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        return self.enclosing(node, ast.ClassDef)
+
+    def symbol_of(self, node: ast.AST) -> str:
+        """Dotted enclosing-scope symbol for a node (may be empty)."""
+        parts: List[str] = []
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(current, _SCOPE_TYPES):
+                parts.append(current.name)
+            current = self._parents.get(current)
+        return ".".join(reversed(parts))
+
+    def _collect_functions(self) -> List[FunctionInfo]:
+        out: List[FunctionInfo] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            info = FunctionInfo(
+                node=node,
+                name=node.name,
+                symbol=self.symbol_of(node),
+                is_async=isinstance(node, ast.AsyncFunctionDef),
+                params=_param_names(node),
+                local_callables=self._local_callables(node),
+            )
+            out.append(info)
+        out.sort(key=lambda f: (f.node.lineno, f.node.col_offset))
+        return out
+
+    def _local_callables(self, func: ast.AST) -> Dict[str, ast.AST]:
+        bindings: Dict[str, ast.AST] = {}
+        for child in ast.iter_child_nodes(func):
+            for node in ast.walk(child):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    if self.enclosing(node, (ast.FunctionDef, ast.AsyncFunctionDef)) is func:
+                        bindings[node.name] = node
+                elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+                    if self.enclosing(node, (ast.FunctionDef, ast.AsyncFunctionDef)) is not func:
+                        continue
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            bindings[target.id] = node.value
+        return bindings
+
+    def functions(self) -> Sequence[FunctionInfo]:
+        return self._functions
+
+    def function_body_nodes(self, func: ast.AST, *, skip_nested: bool = True) -> Iterator[ast.AST]:
+        """Walk a function body, optionally skipping nested def/class scopes.
+
+        With ``skip_nested`` (the default for execution-context rules
+        like asyncio-blocking), statements inside nested ``def``s are
+        not yielded: they run when the nested function is *called*, not
+        while this body executes.  Each nested function is analysed
+        independently via :meth:`functions`.
+        """
+        stack: List[ast.AST] = []
+        for child in ast.iter_child_nodes(func):
+            stack.append(child)
+        while stack:
+            node = stack.pop()
+            if skip_nested and isinstance(node, _SCOPE_TYPES + (ast.Lambda,)):
+                continue
+            yield node
+            for child in ast.iter_child_nodes(node):
+                stack.append(child)
+
+    def iter_calls(self, root: Optional[ast.AST] = None) -> Iterator[ast.Call]:
+        for node in ast.walk(root if root is not None else self.tree):
+            if isinstance(node, ast.Call):
+                yield node

@@ -340,6 +340,51 @@ class TestServiceSocket:
             tail = client.detections(since=max(0, total - 2))
             assert tail["detections"] == got["detections"][max(0, total - 2):]
 
+    def test_detections_op_orders_after_admitted_batches_without_drain(self):
+        # Regression (staticcheck asyncio-blocking fix): ``detections``
+        # rides the consumer FIFO as a barrier op instead of touching
+        # the pipeline from the dispatch coroutine, so its reply must
+        # already reflect every batch admitted before it -- no drain.
+        campaign = CampaignComposer(1, target_alerts=80).compose(0)
+        handle = start_service_in_thread(_serial_factory(campaign), ServiceConfig())
+        with handle, handle.client() as client:
+            for event in campaign.events:
+                if event.kind == "batch":
+                    client.send_alerts(list(event.alerts))
+                elif event.kind == "reset_entity":
+                    client.control("reset_entity", entity=event.entity)
+                elif event.kind == "reset":
+                    client.control("reset")
+                elif event.kind == "reopen":
+                    client.control("reopen")
+            barrier_reply = client.detections()
+            client.drain()
+            settled = client.detections()
+        assert barrier_reply["detections"] == settled["detections"]
+        assert barrier_reply["total"] == settled["total"] > 0
+
+    def test_thread_harness_closes_pipeline_after_stop(self):
+        # Regression (staticcheck asyncio-blocking fix): the thread
+        # harness closes the pipeline after asyncio.run returns --
+        # outside the event loop -- and must not skip it on the happy
+        # path: every process-backed detector pool ends up closed once
+        # the handle's context exits (serial pools are no-op closes and
+        # never report closed).
+        campaign = CampaignComposer(1, target_alerts=40).compose(0)
+        handle = start_service_in_thread(
+            lambda: build_service_pipeline(
+                campaign, engine="streaming", n_shards=2, backend="process"
+            ),
+            ServiceConfig(),
+        )
+        with handle, handle.client() as client:
+            got = stream_campaign(client, campaign)
+        assert got["counters"]["detections"] > 0
+        assert handle.error is None
+        assert all(
+            pool.closed for pool in handle.pipeline.detector_pools.values()
+        )
+
     def test_forced_shed_low_accounts_across_ledgers(self, tmp_path):
         campaign = CampaignComposer(1, target_alerts=40).compose(0)
         dead_letter = tmp_path / "dead.jsonl"
