@@ -1,43 +1,60 @@
-"""End-to-end overlapped vs batch-synchronous pipeline throughput.
+"""End-to-end pipelined vs batch-synchronous pipeline throughput.
 
-The pipeline's overlapped driver
-(:meth:`repro.testbed.pipeline.TestbedPipeline.ingest_raw_stream`)
-double-buffers batches: while the detection stage's process-backed
-shard workers chew batch N, the parent thread already normalises and
-filters batch N+1 (non-blocking ``submit_batch``/``collect`` fan-out,
-see :mod:`repro.testbed.sharding`).  Per stream, the normalize/filter
-latency is then paid once instead of once per batch -- the parent's
-prep work hides behind worker compute.
+The pipeline's overlapped drivers keep up to ``max_inflight`` batches
+in flight per shard: while the detection stage's process-backed shard
+workers chew batches N..N+d-1, the parent already normalises and
+filters batch N+d.  The sub-batch payloads travel over the zero-copy
+shared-memory ring transport (``transport="shm"``): the parent writes
+each encoded batch in place into a per-shard ring and ships a 24-byte
+descriptor, so a deep window never backpressures into the parent the
+way pipe-pickled payloads do -- the control channel holds a bounded
+number of bytes (its socket buffers), and once a burst of large
+pickled sub-batches fills it, the parent's ``send`` blocks until the
+worker drains a payload, which it only does between observe calls.
 
-This benchmark drives the same raw syslog-record batches through both
-drivers at ``n_shards ∈ {2, 4}`` process shards and records:
+The stream is **bursty**: each batch's records concentrate on one
+rotating user segment, segments are aligned to one shard each (the
+worst case for a per-batch barrier, which then gets zero fan-out
+parallelism), and ``SEGMENT_CLUSTER`` consecutive batches hit the same
+segment (per-segment traffic arrives in runs, the regime that piles
+successive payloads onto one worker's channel).  The long-run load is
+exactly balanced across shards.  A few entities per segment run a
+login -> sensitive-download -> compile chain, so the stream produces
+real detections whose bit-identity across every configuration is
+asserted before anything is recorded.
 
-* ``wall_seconds`` of both drivers.  Wall time is bounded by the
-  *cores available to this container*: on a single-core host parent
-  prep and worker compute time-slice, so the wall speedup is ~1x by
+Per configuration the benchmark records:
+
+* ``wall_seconds`` end to end.  Wall time is bounded by the *cores
+  available to this container*: on a single-core host parent prep and
+  worker compute time-slice, so the wall speedup is ~1x by
   construction (recorded next to ``cores_available`` so the regimes
   are never conflated -- the same convention as ``BENCH_sharding``).
-* A **pipeline-schedule projection** of both drivers from the same
-  per-batch measurements (prep/respond stage walls, fan-out overhead,
-  and the slowest shard's reported CPU time per batch), i.e. their
-  end-to-end time once one core per shard plus one parent core are
-  available::
-
-      sync    = Σ_i ( prep_i + overhead_i + max_busy_i + respond_i )
-      overlap = prep_1 + Σ_i ( overhead_i + max(max_busy_i, prep_{i+1})
-                               + respond_i )
-
-  The overlapped schedule interleaves ``submit(i); prep(i+1);
-  collect(i); respond(i)``, so batch i's worker compute
-  (``max_busy_i``) and the parent's prep of batch i+1 overlap; the
-  fan-out overhead (partitioning, columnar pickling both ways,
-  merging) and the response stage stay on the parent's critical path.
-  The headline ``projected_speedup`` is ``sync / overlap`` -- a ratio
-  of times measured on the same host, so it needs no hardware
-  calibration.
-
-The two drivers are asserted bit-identical (detections and counters)
-before anything is recorded.
+* Per-batch measurements: parent submit CPU (``time.thread_time``
+  around the detection-stage submit -- wall-clock stage timings at
+  depth > 1 on a host with fewer cores than shards measure scheduler
+  interleaving, not parent work), per-shard worker busy CPU (reported
+  with each batch reply, deserialisation included for both
+  transports), response-stage seconds, and the exact bytes each
+  sub-batch occupies on the pickle control channel.
+* A **pipeline-schedule projection**: a discrete-event simulation of
+  the depth-``d`` schedule from those measurements -- the parent
+  serialises prep + submit, each shard serialises its own busy, at
+  most ``d`` batches are in flight, and a pickle submit blocks while
+  the shard's channel cannot accept the payload (capacity is the
+  measured socket-buffer size of a real control channel; a worker
+  drains a payload when it picks it up between batches).  The shm
+  ring never blocks the parent (ring capacity is sized to the window;
+  fallbacks are counted and asserted zero).  ``projected_speedup`` is
+  the batch-synchronous pickle reference's projection divided by the
+  configuration's -- a ratio of times measured on the same host, so
+  it needs no hardware calibration.
+* ``overhead_seconds`` per batch: submit CPU plus that schedule's
+  channel stall -- the full per-batch cost of *shipping* a batch into
+  the detection tier at the operating depth.  The recorded
+  ``overhead_reduction_vs_pickle`` compares transports at the same
+  depth: the shm codec costs more parent CPU than C pickle, and wins
+  anyway because descriptors never stall.
 
 Run as a script to (re)record ``BENCH_overlap.json`` at the repo
 root::
@@ -45,9 +62,9 @@ root::
     PYTHONPATH=src python benchmarks/bench_pipeline_overlap.py
 
 CI runs the regression gate, which re-measures a quick version, checks
-the overlapped driver still produces bit-identical results, and
-requires the projected overlap speedup at 4 process shards to stay
-above the floor::
+the deep-pipelined shm driver still produces bit-identical results,
+and requires the projected speedup at 4 process shards,
+``max_inflight=4``, to stay above the floor::
 
     PYTHONPATH=src python benchmarks/bench_pipeline_overlap.py --check
 """
@@ -56,7 +73,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
+import pickle
+import socket
 import sys
 import time
 from pathlib import Path
@@ -68,11 +88,13 @@ if __name__ == "__main__":  # pragma: no cover - script mode import path
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core import AttackTagger
+from repro.core.alerts import pack_alert_columns
 from repro.incidents import DEFAULT_CATALOGUE
 from repro.telemetry import SyslogMonitor
 from repro.testbed import TestbedPipeline
+from repro.testbed.sharding import shard_of
 
-#: Counter keys that must match exactly between the two drivers.
+#: Counter keys that must match exactly between every driver pair.
 COUNTER_KEYS = (
     "raw_records",
     "normalized_alerts",
@@ -85,30 +107,110 @@ COUNTER_KEYS = (
 #: small enough that sustained traffic slides it).
 MAX_WINDOW = 32
 
+#: Consecutive batches per user segment (same shard back to back)
+#: inside the stream's burst blocks.  With batches sized so one
+#: pickled sub-batch exceeds the control channel's socket buffers,
+#: the second submit of a same-shard pair blocks until the shard
+#: finishes the first -- the pickle transport loses same-shard
+#: overlap entirely, while the shm descriptors keep the window full.
+SEGMENT_CLUSTER = 2
+
+#: Batches per stream block.  Even blocks rotate segments round-robin
+#: across the shards (steady traffic, full fan-out); odd blocks run
+#: each segment as a SEGMENT_CLUSTER-deep burst (the backpressure
+#: regime).  Every block touches every shard equally, so the load
+#: stays balanced at any multiple of BLOCK_BATCHES.
+BLOCK_BATCHES = 8
+
+#: Shard axis the user segments are aligned to.
+SEGMENT_SHARDS = 4
+
+#: Per-shard ring size for the benchmark's shm runs: holds a full
+#: same-shard cluster of encoded sub-batches with headroom, so the
+#: measured runs exercise the ring fast path only (fallbacks are
+#: asserted zero).
+RING_CAPACITY = 8 * 1024 * 1024
+
+
+def _shard_users(n_shards: int, per_shard: int) -> list[list[str]]:
+    """Usernames bucketed by the shard their alert entity routes to."""
+    buckets: list[list[str]] = [[] for _ in range(n_shards)]
+    user_id = 0
+    while min(len(bucket) for bucket in buckets) < per_shard:
+        name = f"user{user_id:04d}"
+        buckets[shard_of(f"user:{name}", n_shards)].append(name)
+        user_id += 1
+    return buckets
+
 
 def build_raw_batches(
-    *, n_batches: int, records_per_batch: int, n_users: int = 199
+    *,
+    n_batches: int,
+    records_per_batch: int,
+    cluster: int = SEGMENT_CLUSTER,
+    users_per_segment: int = 6,
 ) -> list[list]:
-    """Time-ordered syslog batches of successful logins and downloads.
+    """Bursty time-ordered syslog batches with shard-aligned segments.
 
-    Every record carries a distinct source IP so the scan filter's
-    dedup keeps (nearly) all of them -- the detection stage sees the
-    full stream and both parent prep and worker compute carry real
-    per-record cost.  The mix stays benign: measured runs must not
-    diverge on response work.
+    Each batch draws its records from one user segment, whose users
+    all route to one shard, so each batch's detection work lands on a
+    single worker.  Segments alternate by ``BLOCK_BATCHES``-sized
+    blocks: even blocks rotate round-robin across the shards (steady
+    traffic), odd blocks run each segment as a ``cluster``-deep
+    same-shard burst (per-segment traffic arriving in runs -- the
+    regime that piles successive payloads onto one worker's channel).
+    Every block touches every shard equally, so the long-run load is
+    exactly balanced (``n_batches`` should be a multiple of
+    ``2 * BLOCK_BATCHES``).  Most records are logins from per-record
+    distinct source IPs (the scan filter's dedup keeps them) plus
+    sensitive downloads; each segment's last user also
+    compiles what it downloaded, completing a login -> download ->
+    compile chain the detector flags, so the stream yields real
+    detections to hold bit-identical across configurations.  Each
+    shard also has a dedicated attacker entity (never in any
+    rotation) issuing one sensitive-download + compile pair per
+    batch; a cluster's worth of pairs completes a detectable chain.
     """
     monitor = SyslogMonitor("internal-host")
+    buckets = _shard_users(SEGMENT_SHARDS, users_per_segment * 2 + 1)
     step = 0
-    for _ in range(n_batches * records_per_batch):
-        user = f"user{step % n_users:03d}"
-        source_ip = f"10.{step % 251}.{step % 241}.{step % 239}"
-        if step % 4 == 0:
-            monitor.wget_download(
-                float(step), user, f"http://64.215.{step % 200}.18/abs.c"
-            )
+    for batch_index in range(n_batches):
+        block, pos = divmod(batch_index, BLOCK_BATCHES)
+        if block % 2 == 0:
+            shard = pos % SEGMENT_SHARDS
         else:
-            monitor.sshd_accepted(float(step), user, source_ip)
-        step += 1
+            shard = (block // 2 + pos // cluster) % SEGMENT_SHARDS
+        rotation = batch_index // (SEGMENT_SHARDS * cluster)
+        bucket = buckets[shard]
+        users = [
+            bucket[(rotation * users_per_segment + k) % (users_per_segment * 2)]
+            for k in range(users_per_segment)
+        ]
+        # The shard's attacker never appears in any rotation, so its
+        # per-entity alert stream is the bare download/compile chain.
+        attacker = bucket[users_per_segment * 2]
+        for position in range(records_per_batch):
+            user = users[step % users_per_segment]
+            source_ip = f"10.{step % 251}.{step % 241}.{step % 239}"
+            if position >= records_per_batch - 2:
+                # The segment's attacker: one download + compile pair
+                # per batch, so a segment's cluster completes a chain.
+                if position == records_per_batch - 2:
+                    monitor.wget_download(
+                        float(step), attacker,
+                        f"http://64.215.{step % 200}.18/abs.c",
+                    )
+                else:
+                    monitor.command_executed(
+                        float(step), attacker, f"gcc -o payload{step} payload.c"
+                    )
+            elif step % 4 == 0:
+                monitor.wget_download(
+                    float(step), user, f"http://64.215.{step % 200}.18/abs.c"
+                )
+            else:
+                monitor.sshd_accepted(float(step), user, source_ip)
+            step += 1
     records = monitor.records
     return [
         records[start : start + records_per_batch]
@@ -116,7 +218,35 @@ def build_raw_batches(
     ]
 
 
-def make_pipeline(n_shards: int) -> TestbedPipeline:
+def channel_capacity_bytes() -> int:
+    """Measured in-flight byte capacity of a worker control channel.
+
+    ``multiprocessing.Pipe(duplex=True)`` is a unix socketpair; the
+    bytes a blocked sender can have in flight are bounded by the
+    socket buffers.  Summing both directions' buffer sizes gives the
+    *upper* bound, which makes the projected pickle stalls
+    conservative (a fuller channel would stall sooner).
+    """
+    parent, child = multiprocessing.Pipe()
+    try:
+        try:
+            sock = socket.socket(fileno=parent.fileno())
+        except OSError:
+            return 2 * 65536
+        try:
+            return sock.getsockopt(
+                socket.SOL_SOCKET, socket.SO_SNDBUF
+            ) + sock.getsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF)
+        finally:
+            sock.detach()
+    finally:
+        parent.close()
+        child.close()
+
+
+def make_pipeline(
+    *, n_shards: int, transport: str, max_inflight: int
+) -> TestbedPipeline:
     return TestbedPipeline(
         detectors={
             "factor_graph": AttackTagger(
@@ -125,117 +255,333 @@ def make_pipeline(n_shards: int) -> TestbedPipeline:
         },
         n_shards=n_shards,
         shard_backend="process",
+        transport=transport,
+        max_inflight=max_inflight,
+        ring_capacity=RING_CAPACITY,
     )
 
 
-def run_batch_synchronous(batches: list[list], *, n_shards: int) -> dict:
-    """Reference driver with per-batch stage instrumentation."""
+def run_driver(
+    batches: list[list], *, n_shards: int, transport: str, max_inflight: int
+) -> dict:
+    """One instrumented run at (transport, depth): the two-phase driver.
+
+    Drives ``submit_raw``/``collect_detections`` with a window of
+    ``max_inflight`` batches (the schedule the pipeline's overlapped
+    drivers generalise), recording per batch: prep (normalize+filter
+    stage walls), submit wall and submit thread-CPU (around the
+    detection-stage submit only), per-shard busy (worker CPU reported
+    with batch replies), respond seconds, and -- computed after the
+    run, off the clock -- the exact pickle-channel payload bytes of
+    each sub-batch.
+    """
     prep: list[float] = []
-    overhead: list[float] = []
-    max_busy: list[float] = []
+    submit_wall: list[float] = []
+    submit_cpu: list[float] = []
+    busy: list[list[float]] = []
     respond: list[float] = []
-    with make_pipeline(n_shards) as pipeline:
+    filtered_batches: list[list] = []
+    with make_pipeline(
+        n_shards=n_shards, transport=transport, max_inflight=max_inflight
+    ) as pipeline:
         pool = pipeline.detector_pools["factor_graph"]
+        original_submit = pipeline.detection_stage.submit
+
+        def instrumented_submit(filtered):
+            filtered_batches.append(list(filtered))
+            wall0 = time.perf_counter()
+            cpu0 = time.thread_time()
+            original_submit(filtered)
+            submit_cpu.append(time.thread_time() - cpu0)
+            submit_wall.append(time.perf_counter() - wall0)
+
+        pipeline.detection_stage.submit = instrumented_submit
+        detections = []
+        inflight = 0
         started = time.perf_counter()
-        for batch in batches:
+
+        def _collect_one() -> None:
+            nonlocal inflight
             stage_before = dict(pipeline.stats.stage_seconds)
             busy_before = list(pool.busy_seconds)
-            pipeline.ingest_raw(batch)
+            detections.extend(pipeline.collect_detections())
             stage_after = pipeline.stats.stage_seconds
-            busy_delta = [
-                after - before
-                for after, before in zip(pool.busy_seconds, busy_before)
-            ]
-            detect_delta = stage_after.get("detect", 0.0) - stage_before.get(
-                "detect", 0.0
-            )
-            prep.append(
-                (stage_after.get("normalize", 0.0) - stage_before.get("normalize", 0.0))
-                + (stage_after.get("filter", 0.0) - stage_before.get("filter", 0.0))
+            busy.append(
+                [
+                    after - before
+                    for after, before in zip(pool.busy_seconds, busy_before)
+                ]
             )
             respond.append(
                 stage_after.get("respond", 0.0) - stage_before.get("respond", 0.0)
             )
-            overhead.append(max(0.0, detect_delta - sum(busy_delta)))
-            max_busy.append(max(busy_delta))
+            inflight -= 1
+
+        for batch in batches:
+            while inflight >= max_inflight:
+                _collect_one()
+            stage_before = dict(pipeline.stats.stage_seconds)
+            pipeline.submit_raw(batch)
+            stage_after = pipeline.stats.stage_seconds
+            prep.append(
+                (stage_after.get("normalize", 0.0) - stage_before.get("normalize", 0.0))
+                + (stage_after.get("filter", 0.0) - stage_before.get("filter", 0.0))
+            )
+            inflight += 1
+        while inflight:
+            _collect_one()
         wall = time.perf_counter() - started
-        return {
-            "wall_seconds": wall,
-            "prep_seconds": prep,
-            "overhead_seconds": overhead,
-            "max_busy_seconds": max_busy,
-            "respond_seconds": respond,
-            "detections": list(pipeline.detections),
-            "counters": {
-                key: pipeline.summary()[key] for key in COUNTER_KEYS
-            },
-        }
-
-
-def run_overlapped(batches: list[list], *, n_shards: int) -> dict:
-    """The overlapped driver, measured end to end."""
-    with make_pipeline(n_shards) as pipeline:
-        started = time.perf_counter()
-        pipeline.ingest_raw_stream(batches)
-        wall = time.perf_counter() - started
-        return {
-            "wall_seconds": wall,
-            "detections": list(pipeline.detections),
-            "counters": {
-                key: pipeline.summary()[key] for key in COUNTER_KEYS
-            },
-        }
-
-
-def schedule_projections(sync: dict) -> tuple[float, float]:
-    """(sync, overlap) end-to-end projections from per-batch timings."""
-    prep = sync["prep_seconds"]
-    overhead = sync["overhead_seconds"]
-    max_busy = sync["max_busy_seconds"]
-    respond = sync["respond_seconds"]
-    n = len(prep)
-    sync_projected = sum(prep) + sum(overhead) + sum(max_busy) + sum(respond)
-    overlap_projected = prep[0] if n else 0.0
-    for i in range(n):
-        next_prep = prep[i + 1] if i + 1 < n else 0.0
-        overlap_projected += overhead[i] + max(max_busy[i], next_prep) + respond[i]
-    return sync_projected, overlap_projected
-
-
-def measure_configuration(batches: list[list], *, n_shards: int) -> dict:
-    """Both drivers at one shard count, with the equivalence check."""
-    sync = run_batch_synchronous(batches, n_shards=n_shards)
-    overlapped = run_overlapped(batches, n_shards=n_shards)
-    assert overlapped["detections"] == sync["detections"], (
-        "overlapped detections must be bit-identical to batch-synchronous"
-    )
-    assert overlapped["counters"] == sync["counters"], (
-        "overlapped counters must match batch-synchronous"
-    )
-    sync_projected, overlap_projected = schedule_projections(sync)
-    total_records = sum(len(batch) for batch in batches)
+        shm_batches, shm_fallbacks = pool.shm_batches, pool.shm_fallbacks
+        counters = {key: pipeline.summary()[key] for key in COUNTER_KEYS}
+        detection_log = list(pipeline.detections)
+    # Off the clock: the bytes each sub-batch would occupy on the
+    # pickle control channel (the exact message the pickle transport
+    # sends), for the projection's channel model.
+    payload_bytes = []
+    for filtered in filtered_batches:
+        sub_batches: list[list] = [[] for _ in range(n_shards)]
+        for alert in filtered:
+            sub_batches[shard_of(alert.entity, n_shards)].append(alert)
+        payload_bytes.append(
+            [
+                len(pickle.dumps(("observe", pack_alert_columns(sub))))
+                if sub
+                else 0
+                for sub in sub_batches
+            ]
+        )
     return {
+        "transport": transport,
+        "max_inflight": max_inflight,
         "n_shards": n_shards,
-        "records": total_records,
-        "batches": len(batches),
-        "detections": len(sync["detections"]),
-        "sync_wall_seconds": round(sync["wall_seconds"], 3),
-        "overlap_wall_seconds": round(overlapped["wall_seconds"], 3),
-        "wall_speedup": round(sync["wall_seconds"] / overlapped["wall_seconds"], 2),
-        "per_batch": {
-            "prep_seconds": [round(v, 4) for v in sync["prep_seconds"]],
-            "overhead_seconds": [round(v, 4) for v in sync["overhead_seconds"]],
-            "max_busy_seconds": [round(v, 4) for v in sync["max_busy_seconds"]],
-            "respond_seconds": [round(v, 4) for v in sync["respond_seconds"]],
-        },
-        "sync_projected_seconds": round(sync_projected, 3),
-        "overlap_projected_seconds": round(overlap_projected, 3),
-        "projected_records_per_second": round(total_records / overlap_projected, 1),
-        "projected_speedup": round(sync_projected / overlap_projected, 2),
+        "wall_seconds": wall,
+        "prep_seconds": prep,
+        "submit_wall_seconds": submit_wall,
+        "submit_cpu_seconds": submit_cpu,
+        "busy_seconds": busy,
+        "respond_seconds": respond,
+        "payload_bytes": payload_bytes,
+        "shm_batches": shm_batches,
+        "shm_fallbacks": shm_fallbacks,
+        "detections": detections,
+        "detection_log": detection_log,
+        "counters": counters,
     }
 
 
-def run_benchmark(*, n_batches: int = 8, records_per_batch: int = 800) -> dict:
+def simulate_schedule(
+    run: dict,
+    *,
+    depth: int | None = None,
+    reference: dict | None = None,
+    channel_capacity: int | None = None,
+) -> dict:
+    """Project the run onto one core per shard plus a parent core.
+
+    Discrete-event simulation of the depth-``d`` schedule: the parent
+    serialises prep + submit CPU (and any channel stall) per batch and
+    respond after each collect; each shard serialises its own
+    per-batch busy seconds; at most ``d`` batches are in flight, FIFO.
+    ``depth=1`` is the batch-synchronous schedule.
+
+    Submit CPU, busy, and payload bytes come from the run itself (they
+    are what the transport/depth axes vary).  Prep and respond come
+    from ``reference`` when given: they are transport- and
+    depth-independent parent work over the identical stream, and the
+    reference's depth-1 run measures them with idle workers -- a deep
+    run's own wall-clock stage timings on a host with fewer cores than
+    shards measure worker time-slicing, not parent work.
+
+    Channel model (pickle transport only): a worker drains a payload
+    when it picks it up between observe calls; a submit whose payload
+    does not fit next to the still-undrained bytes blocks the parent
+    until enough pickups have happened.  The shm transport's 24-byte
+    descriptors never block (ring fallbacks are recorded separately).
+
+    Returns ``{"makespan": float, "stall_seconds": [per batch]}``.
+    """
+    source = reference if reference is not None else run
+    prep = source["prep_seconds"]
+    respond = source["respond_seconds"]
+    submit = run["submit_cpu_seconds"]
+    busy = run["busy_seconds"]
+    payloads = run["payload_bytes"]
+    model_channel = run["transport"] == "pickle"
+    capacity = channel_capacity or channel_capacity_bytes()
+    d = depth if depth is not None else run["max_inflight"]
+    n = len(prep)
+    n_shards = len(busy[0]) if busy else 0
+    shard_free = [0.0] * n_shards
+    # Per shard: (pickup_time, payload_bytes) of every sent sub-batch.
+    channel: list[list[tuple[float, int]]] = [[] for _ in range(n_shards)]
+    completion = [0.0] * n
+    stalls = [0.0] * n
+    inflight: list[int] = []
+    t = 0.0
+    for i in range(n):
+        while len(inflight) >= d:
+            j = inflight.pop(0)
+            t = max(t, completion[j]) + respond[j]
+        t += prep[i] + submit[i]
+        if model_channel:
+            for s in range(n_shards):
+                nbytes = payloads[i][s]
+                if nbytes <= 0:
+                    continue
+                if nbytes > capacity:
+                    # The payload alone overflows the channel: the
+                    # parent is stuck until the worker picks it up.
+                    blocked_until = max(t, shard_free[s])
+                else:
+                    blocked_until = t
+                    pending = sorted(
+                        entry for entry in channel[s] if entry[0] > t
+                    )
+                    undrained = sum(nb for _, nb in pending)
+                    for pickup, nb in pending:
+                        if undrained + nbytes <= capacity:
+                            break
+                        blocked_until = pickup
+                        undrained -= nb
+                stalls[i] += blocked_until - t
+                t = blocked_until
+        finish = t
+        for s in range(n_shards):
+            if busy[i][s] > 0.0:
+                start = max(t, shard_free[s])
+                shard_free[s] = start + busy[i][s]
+                channel[s].append((start, payloads[i][s]))
+                finish = max(finish, shard_free[s])
+        completion[i] = finish
+        inflight.append(i)
+    while inflight:
+        j = inflight.pop(0)
+        t = max(t, completion[j]) + respond[j]
+    return {"makespan": t, "stall_seconds": stalls}
+
+
+def assert_equivalent(reference: dict, run: dict) -> None:
+    label = f"{run['transport']}@inflight={run['max_inflight']}"
+    assert run["detections"] == reference["detections"], (
+        f"{label}: detections must be bit-identical to the "
+        "batch-synchronous pickle reference"
+    )
+    assert run["detection_log"] == reference["detection_log"], (
+        f"{label}: detection log diverged from the reference"
+    )
+    assert run["counters"] == reference["counters"], (
+        f"{label}: counters diverged from the reference"
+    )
+
+
+def summarise(
+    run: dict, reference: dict, sync_projected: float, capacity: int
+) -> dict:
+    """One configuration's JSON record, relative to the sync reference."""
+    schedule = simulate_schedule(
+        run, reference=reference, channel_capacity=capacity
+    )
+    overhead = [
+        cpu + stall
+        for cpu, stall in zip(run["submit_cpu_seconds"], schedule["stall_seconds"])
+    ]
+    run["overhead_seconds"] = overhead
+    mean_overhead = sum(overhead) / max(1, len(overhead))
+    return {
+        "transport": run["transport"],
+        "max_inflight": run["max_inflight"],
+        "n_shards": run["n_shards"],
+        "wall_seconds": round(run["wall_seconds"], 3),
+        "wall_speedup": round(reference["wall_seconds"] / run["wall_seconds"], 2),
+        "per_batch": {
+            "prep_seconds": [round(v, 4) for v in reference["prep_seconds"]],
+            "submit_cpu_seconds": [
+                round(v, 5) for v in run["submit_cpu_seconds"]
+            ],
+            "channel_stall_seconds": [
+                round(v, 4) for v in schedule["stall_seconds"]
+            ],
+            "overhead_seconds": [round(v, 4) for v in overhead],
+            "max_busy_seconds": [round(max(b), 4) for b in run["busy_seconds"]],
+        },
+        "mean_overhead_seconds": round(mean_overhead, 5),
+        "shm_batches": run["shm_batches"],
+        "shm_fallbacks": run["shm_fallbacks"],
+        "projected_seconds": round(schedule["makespan"], 3),
+        "projected_speedup": round(sync_projected / schedule["makespan"], 2),
+    }
+
+
+def measure_axis(
+    batches: list[list], *, n_shards: int, configurations: list[tuple]
+) -> dict:
+    """Reference + the (transport, depth) axis at one shard count."""
+    capacity = channel_capacity_bytes()
+    reference = run_driver(
+        batches, n_shards=n_shards, transport="pickle", max_inflight=1
+    )
+    sync_projected = simulate_schedule(
+        reference, depth=1, channel_capacity=capacity
+    )["makespan"]
+    out = {
+        "records": sum(len(batch) for batch in batches),
+        "batches": len(batches),
+        "detections": len(reference["detections"]),
+        "channel_capacity_bytes": capacity,
+        "max_payload_bytes": max(
+            (max(row) for row in reference["payload_bytes"]), default=0
+        ),
+        "sync_projected_seconds": round(sync_projected, 3),
+        "configurations": {},
+    }
+    out["configurations"]["pickle_inflight1"] = summarise(
+        reference, reference, sync_projected, capacity
+    )
+    runs = {("pickle", 1): reference}
+    for transport, max_inflight in configurations:
+        run = run_driver(
+            batches,
+            n_shards=n_shards,
+            transport=transport,
+            max_inflight=max_inflight,
+        )
+        assert_equivalent(reference, run)
+        runs[(transport, max_inflight)] = run
+        out["configurations"][f"{transport}_inflight{max_inflight}"] = summarise(
+            run, reference, sync_projected, capacity
+        )
+    # The headline transport comparison: at the same depth, how much
+    # cheaper is shipping a batch over shm than over the pickle pipe?
+    for (transport, depth), run in runs.items():
+        if transport != "shm" or ("pickle", depth) not in runs:
+            continue
+        pickle_overhead = runs[("pickle", depth)]["overhead_seconds"]
+        shm_overhead = run["overhead_seconds"]
+        mean_shm = sum(shm_overhead) / max(1, len(shm_overhead))
+        if mean_shm > 0:
+            out["configurations"][f"shm_inflight{depth}"][
+                "overhead_reduction_vs_pickle"
+            ] = round(
+                (sum(pickle_overhead) / max(1, len(pickle_overhead))) / mean_shm,
+                2,
+            )
+    return out
+
+
+#: The (transport, max_inflight) axis recorded at 4 shards.  The
+#: pickle depths document the pipe transport's backpressure collapse
+#: (their overhead_seconds absorb the channel stalls); the shm depths
+#: show the ring transport sustaining the same window.
+FULL_AXIS = [
+    ("pickle", 2),
+    ("pickle", 4),
+    ("shm", 1),
+    ("shm", 2),
+    ("shm", 4),
+]
+
+
+def run_benchmark(*, n_batches: int = 32, records_per_batch: int = 8000) -> dict:
     batches = build_raw_batches(
         n_batches=n_batches, records_per_batch=records_per_batch
     )
@@ -243,15 +589,24 @@ def run_benchmark(*, n_batches: int = 8, records_per_batch: int = 800) -> dict:
         "benchmark": "pipeline_overlap_throughput",
         "units": "seconds_end_to_end",
         "notes": (
-            "Overlapped (double-buffered) driver vs batch-synchronous "
-            "reference over raw syslog batches, process shard backend. "
+            "Deep-pipelined drivers (transport x max_inflight axes) vs "
+            "the batch-synchronous pickle reference over bursty "
+            "shard-aligned raw syslog batches, process shard backend.  "
             "wall_* is bounded by cores_available (single-core hosts "
-            "time-slice parent prep and workers, wall speedup ~1x by "
-            "construction); *_projected_* evaluates both drivers' "
-            "schedules from the same per-batch stage timings and worker "
-            "CPU reports, i.e. one core per shard plus a parent core. "
-            "projected_speedup is a same-host ratio and needs no "
-            "hardware calibration."
+            "time-slice parent and workers; wall speedup ~1x by "
+            "construction); projected_* replays each run's measured "
+            "per-batch submit CPU, per-shard worker CPU, payload "
+            "bytes, and the measured control-channel capacity through "
+            "a discrete-event simulation of its depth-d schedule "
+            "(one core per shard plus a parent core).  "
+            "overhead_seconds = submit CPU + channel stall: the pickle "
+            "transport's deep windows stall the parent once a "
+            "same-shard burst overfills the socket buffers, the shm "
+            "ring's 24-byte descriptors never do -- that, not raw "
+            "serialisation CPU (where C pickle beats the flat codec), "
+            "is the transport's win, and overhead_reduction_vs_pickle "
+            "compares the two at the same depth.  projected_speedup "
+            "is a same-host ratio and needs no hardware calibration."
         ),
         "cores_available": len(os.sched_getaffinity(0))
         if hasattr(os, "sched_getaffinity")
@@ -259,60 +614,71 @@ def run_benchmark(*, n_batches: int = 8, records_per_batch: int = 800) -> dict:
         "stream": {
             "n_batches": n_batches,
             "records_per_batch": records_per_batch,
+            "segment_cluster": SEGMENT_CLUSTER,
+            "block_batches": BLOCK_BATCHES,
             "max_window": MAX_WINDOW,
         },
-        "configurations": {
-            "process_2shards": measure_configuration(batches, n_shards=2),
-            "process_4shards": measure_configuration(batches, n_shards=4),
-        },
+        "shards_2": measure_axis(batches, n_shards=2, configurations=[("shm", 4)]),
+        "shards_4": measure_axis(batches, n_shards=4, configurations=FULL_AXIS),
     }
 
 
-#: The absolute CI floor for the projected overlap speedup at 4
-#: process shards.
-SPEEDUP_FLOOR = 1.1
-
-#: The check run may keep this fraction of the committed speedup (the
-#: quick stream has a slightly different prep/compute balance and CI
-#: hosts are noisy; a genuine overlap regression collapses the ratio
-#: toward 1.0, far below this band).
-COMMITTED_FRACTION = 0.7
+#: The absolute CI floor for the projected speedup of the
+#: deep-pipelined shm driver (4 process shards, ``max_inflight=4``)
+#: over the batch-synchronous pickle reference.
+SPEEDUP_FLOOR = 2.5
 
 
 def check_regression(baseline_path: Path) -> int:
-    """CI gate: equivalence + projected overlap speedup at 4 shards.
+    """CI gate: equivalence + projected shm@depth-4 speedup at 4 shards.
 
-    The speedup must clear both the absolute ``SPEEDUP_FLOOR`` and
-    ``COMMITTED_FRACTION`` of the committed baseline's value -- the
-    projection is a same-host time ratio, so no hardware calibration
-    is needed.
+    The projection is a same-host time ratio, so no hardware
+    calibration is needed; the floor is absolute (the acceptance bar
+    for the zero-copy transport's deep pipelining).
     """
     if not baseline_path.exists():
         print(f"FAIL: no committed baseline at {baseline_path}; "
               "run this script without --check to record one")
         return 1
-    baseline = json.loads(baseline_path.read_text())
-    committed = float(
-        baseline["configurations"]["process_4shards"]["projected_speedup"]
-    )
-    floor = max(SPEEDUP_FLOOR, COMMITTED_FRACTION * committed)
+    committed = json.loads(baseline_path.read_text())
+    committed_speedup = committed["shards_4"]["configurations"]["shm_inflight4"][
+        "projected_speedup"
+    ]
 
-    batches = build_raw_batches(n_batches=6, records_per_batch=500)
-    # measure_configuration asserts bit-identical detections/counters.
-    result = measure_configuration(batches, n_shards=4)
-    speedup = result["projected_speedup"]
+    # Same stream shape as the recorded baseline at half the records
+    # per batch: the shm projection is payload-size-independent (the
+    # descriptors never stall), so the gate halves its runtime without
+    # changing the schedule it measures.
+    capacity = channel_capacity_bytes()
+    batches = build_raw_batches(n_batches=32, records_per_batch=4000)
+    reference = run_driver(batches, n_shards=4, transport="pickle", max_inflight=1)
+    sync_projected = simulate_schedule(
+        reference, depth=1, channel_capacity=capacity
+    )["makespan"]
+    run = run_driver(batches, n_shards=4, transport="shm", max_inflight=4)
+    assert_equivalent(reference, run)
+    projected = simulate_schedule(
+        run, reference=reference, channel_capacity=capacity
+    )["makespan"]
+    speedup = sync_projected / projected
 
-    print("detections bit-identical (overlapped vs sync): True")
-    print(f"sync projected:      {result['sync_projected_seconds']:.3f} s")
-    print(f"overlap projected:   {result['overlap_projected_seconds']:.3f} s")
-    print(f"projected speedup:   {speedup:.2f}x "
-          f"(floor {floor:.2f}x = max({SPEEDUP_FLOOR:.2f}, "
-          f"{COMMITTED_FRACTION:.2f} * committed {committed:.2f}x))")
-    print(f"wall speedup:        {result['wall_speedup']:.2f}x "
+    print(f"detections bit-identical (shm@4 vs pickle sync): True "
+          f"({len(run['detections'])} detections)")
+    print(f"shm fast-path batches:  {run['shm_batches']} "
+          f"(fallbacks {run['shm_fallbacks']})")
+    print(f"sync projected:         {sync_projected:.3f} s")
+    print(f"shm@depth-4 projected:  {projected:.3f} s")
+    print(f"projected speedup:      {speedup:.2f}x "
+          f"(floor {SPEEDUP_FLOOR:.2f}x, committed {committed_speedup:.2f}x)")
+    print(f"wall speedup:           "
+          f"{reference['wall_seconds'] / run['wall_seconds']:.2f}x "
           f"(single-core hosts: ~1x by construction)")
 
-    if speedup < floor:
-        print(f"FAIL: projected overlap speedup fell below {floor:.2f}x")
+    if run["shm_batches"] == 0:
+        print("FAIL: the shm fast path was never exercised")
+        return 1
+    if speedup < SPEEDUP_FLOOR:
+        print(f"FAIL: projected speedup fell below {SPEEDUP_FLOOR:.2f}x")
         return 1
     print("OK")
     return 0
@@ -321,16 +687,27 @@ def check_regression(baseline_path: Path) -> int:
 # -- pytest entry points ------------------------------------------------------
 
 def test_overlap_equivalence_smoke(benchmark):
-    """Smoke: overlapped driver matches batch-sync on a small stream."""
-    batches = build_raw_batches(n_batches=4, records_per_batch=200)
+    """Smoke: the deep shm driver matches batch-sync on a small stream."""
+    batches = build_raw_batches(n_batches=4, records_per_batch=300, cluster=1)
 
     def _run():
-        return measure_configuration(batches, n_shards=2)
+        reference = run_driver(
+            batches, n_shards=2, transport="pickle", max_inflight=1
+        )
+        run = run_driver(batches, n_shards=2, transport="shm", max_inflight=2)
+        assert_equivalent(reference, run)
+        return reference, run
 
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    # measure_configuration already asserted bit-identical results;
-    # the schedule projection can only help, never hurt.
-    assert result["overlap_projected_seconds"] <= result["sync_projected_seconds"] + 1e-9
+    reference, run = benchmark.pedantic(_run, rounds=1, iterations=1)
+    # The depth-2 schedule can only help the projection, never hurt.
+    capacity = channel_capacity_bytes()
+    deep = simulate_schedule(
+        run, reference=reference, channel_capacity=capacity
+    )["makespan"]
+    sync = simulate_schedule(
+        reference, depth=1, channel_capacity=capacity
+    )["makespan"]
+    assert deep <= sync + 1e-9
 
 
 def main(argv: list[str] | None = None) -> int:

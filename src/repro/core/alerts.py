@@ -31,7 +31,10 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import struct
 from typing import Any, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
 
 from .states import AttackStage
 
@@ -517,6 +520,269 @@ def unpack_alert_columns(columns: AlertColumns) -> list[Alert]:
     ]
 
 
+class AlertColumnsCodecError(ValueError):
+    """A batch the flat binary codec cannot express (or a corrupt buffer).
+
+    Raised by :func:`encode_alert_columns` for values outside the
+    codec's closed type set (the transport treats it as "fall back to
+    pickle", not as an error) and by :func:`decode_alert_columns` for
+    buffers that are not a well-formed encoding.
+    """
+
+
+#: Magic prefix of the flat binary alert-columns layout (versioned).
+ALERT_COLUMNS_MAGIC = b"ACB1"
+
+_HEADER = struct.Struct("<4sBI")
+_F64 = "<%dd"
+_U32S = "<%dI"
+_U32 = struct.Struct("<I")
+_D = struct.Struct("<d")
+
+
+def _encode_value(out: bytearray, value: Any, _u32=None, _d=None) -> None:
+    """Append one attribute value in the tagged recursive encoding.
+
+    Runs once per attribute element on the parent's per-batch critical
+    path; the ``str`` arm leads and appends in one concatenation.
+    """
+    _u32 = _u32 or _U32.pack
+    _d = _d or _D.pack
+    kind = type(value)
+    if kind is str:
+        raw = value.encode("utf-8")
+        out += b"s" + _u32(len(raw)) + raw
+    elif value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif kind is int:
+        digits = b"%d" % value
+        out += b"i" + _u32(len(digits)) + digits
+    elif kind is float:
+        out += b"f" + _d(value)
+    elif kind is bytes:
+        out += b"b" + _u32(len(value)) + value
+    elif kind is list or kind is tuple:
+        out += (b"l" if kind is list else b"t") + _u32(len(value))
+        for item in value:
+            _encode_value(out, item, _u32, _d)
+    elif kind is dict:
+        out += b"d" + _u32(len(value))
+        for key, item in value.items():
+            if type(key) is not str:
+                raise AlertColumnsCodecError(
+                    f"attribute keys must be str, got {type(key).__name__}"
+                )
+            raw = key.encode("utf-8")
+            out += _u32(len(raw)) + raw
+            _encode_value(out, item, _u32, _d)
+    else:
+        raise AlertColumnsCodecError(
+            f"value of type {type(value).__name__} is outside the flat "
+            "binary codec's type set"
+        )
+
+
+# Integer tag constants: ``_decode_value`` runs once per alert on the
+# worker's critical path, and ``buf[offset]`` on bytes yields an int --
+# integer compares beat one-byte slice allocations there.
+_TAG_NONE, _TAG_TRUE, _TAG_FALSE = ord("N"), ord("T"), ord("F")
+_TAG_INT, _TAG_FLOAT, _TAG_STR, _TAG_BYTES = ord("i"), ord("f"), ord("s"), ord("b")
+_TAG_LIST, _TAG_TUPLE, _TAG_DICT = ord("l"), ord("t"), ord("d")
+
+
+def _decode_value(
+    buf: bytes,
+    offset: int,
+    _u32=_U32.unpack_from,
+    _d=_D.unpack_from,
+) -> tuple:
+    """Inverse of :func:`_encode_value`; returns ``(value, new_offset)``."""
+    if offset >= len(buf):
+        raise AlertColumnsCodecError("truncated attribute payload")
+    tag = buf[offset]
+    offset += 1
+    if tag == _TAG_STR or tag == _TAG_BYTES:
+        (size,) = _u32(buf, offset)
+        offset += 4
+        end = offset + size
+        raw = buf[offset:end]
+        if len(raw) != size:
+            raise AlertColumnsCodecError("truncated attribute payload")
+        return (raw.decode("utf-8") if tag == _TAG_STR else raw), end
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        (size,) = _u32(buf, offset)
+        offset += 4
+        return int(buf[offset : offset + size]), offset + size
+    if tag == _TAG_FLOAT:
+        (value,) = _d(buf, offset)
+        return value, offset + 8
+    if tag == _TAG_LIST or tag == _TAG_TUPLE:
+        (count,) = _u32(buf, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(buf, offset)
+            items.append(item)
+        return (items if tag == _TAG_LIST else tuple(items)), offset
+    if tag == _TAG_DICT:
+        (count,) = _u32(buf, offset)
+        offset += 4
+        mapping = {}
+        for _ in range(count):
+            (size,) = _u32(buf, offset)
+            offset += 4
+            key = buf[offset : offset + size].decode("utf-8")
+            offset += size
+            mapping[key], offset = _decode_value(buf, offset)
+        return mapping, offset
+    raise AlertColumnsCodecError(f"unknown attribute value tag {bytes((tag,))!r}")
+
+
+def _encode_str_column(out: bytearray, column: Sequence[str], count: int) -> None:
+    """Append one string column: u32 lengths, then concatenated UTF-8.
+
+    The length array is built with ``np.fromiter`` rather than
+    ``struct.pack(..., *lengths)``: the codec sits on the parent's
+    per-batch critical path, and vectorising the length column (here
+    and on decode) is what keeps the shm transport's parent-side CPU
+    below the pickle path's.
+    """
+    try:
+        raws = [value.encode("utf-8") for value in column]
+    except (AttributeError, UnicodeEncodeError) as exc:
+        raise AlertColumnsCodecError(str(exc)) from exc
+    lengths = np.fromiter(map(len, raws), dtype=np.int64, count=count)
+    if count and int(lengths.max()) > 0xFFFFFFFF:
+        raise AlertColumnsCodecError("string value exceeds the u32 length prefix")
+    out += lengths.astype("<u4").tobytes()
+    out += b"".join(raws)
+
+
+def encode_alert_columns(columns: AlertColumns) -> bytes:
+    """Flat binary layout of a :func:`pack_alert_columns` batch.
+
+    Length-prefixed UTF-8 string columns plus fixed-width numeric
+    columns -- no pickle opcodes anywhere, so a worker process can
+    :func:`decode_alert_columns` straight out of a shared-memory ring
+    without deserialising attacker-influenced pickle.  Raises
+    :class:`AlertColumnsCodecError` for batches outside the codec's
+    closed type set (non-float timestamps, non-string metadata, or
+    attribute values beyond ``None``/``bool``/``int``/``float``/
+    ``str``/``bytes``/``list``/``tuple``/``dict``); the shard transport
+    treats that as "use the pickle fallback path".
+    """
+    timestamps, names, entities, source_ips, hosts, monitors, attributes = columns
+    count = len(names)
+    for value in timestamps:
+        if type(value) is not float:
+            raise AlertColumnsCodecError(
+                f"timestamps must be float, got {type(value).__name__}"
+            )
+    out = bytearray()
+    out += _HEADER.pack(ALERT_COLUMNS_MAGIC, 0 if attributes is None else 1, count)
+    out += np.fromiter(timestamps, dtype="<f8", count=count).tobytes()
+    for column in (names, entities, source_ips, hosts, monitors):
+        _encode_str_column(out, column, count)
+    if attributes is not None:
+        # All blobs go into one bytearray; per-alert lengths come from
+        # the boundary offsets (no per-alert bytearray allocations).
+        blob = bytearray()
+        bounds = [0] * (count + 1)
+        for index, mapping in enumerate(attributes):
+            _encode_value(
+                blob, mapping if type(mapping) is dict else dict(mapping)
+            )
+            bounds[index + 1] = len(blob)
+        ends = np.asarray(bounds, dtype=np.int64)
+        blob_lengths = ends[1:] - ends[:-1]
+        if count and int(blob_lengths.max()) > 0xFFFFFFFF:
+            raise AlertColumnsCodecError(
+                "attribute blob exceeds the u32 length prefix"
+            )
+        out += blob_lengths.astype("<u4").tobytes()
+        out += blob
+    return bytes(out)
+
+
+def decode_alert_columns(buffer) -> AlertColumns:
+    """Inverse of :func:`encode_alert_columns` (accepts any buffer view).
+
+    Returns the exact :func:`pack_alert_columns` tuple shape, so
+    ``unpack_alert_columns(decode_alert_columns(encode_alert_columns(
+    pack_alert_columns(batch))))`` rebuilds ``batch`` field-for-field.
+    """
+    # One bulk copy out of the caller's view (a shared-memory ring
+    # window on the worker path): everything below then slices plain
+    # bytes, which the per-alert attribute decoder needs anyway and
+    # which beats per-element copies out of a memoryview.
+    buf = buffer if type(buffer) is bytes else bytes(buffer)
+    try:
+        magic, flags, count = _HEADER.unpack_from(buf, 0)
+    except struct.error as exc:
+        raise AlertColumnsCodecError(str(exc)) from exc
+    if magic != ALERT_COLUMNS_MAGIC:
+        raise AlertColumnsCodecError(f"bad magic {magic!r}")
+    offset = _HEADER.size
+    try:
+        if len(buf) < offset + 8 * count:
+            raise AlertColumnsCodecError("truncated timestamp column")
+        timestamps = tuple(
+            np.frombuffer(buf, dtype="<f8", count=count, offset=offset).tolist()
+        )
+        offset += 8 * count
+        string_columns = []
+        for _ in range(5):
+            if len(buf) < offset + 4 * count:
+                raise AlertColumnsCodecError("truncated string column")
+            lengths = np.frombuffer(buf, dtype="<u4", count=count, offset=offset)
+            offset += 4 * count
+            ends = np.cumsum(lengths, dtype=np.int64)
+            total = int(ends[-1]) if count else 0
+            blob = buf[offset : offset + total]
+            if len(blob) != total:
+                raise AlertColumnsCodecError("truncated string column")
+            starts = ends - lengths
+            string_columns.append(
+                tuple(
+                    blob[start:end].decode("utf-8")
+                    for start, end in zip(starts.tolist(), ends.tolist())
+                )
+            )
+            offset += total
+        attributes: Optional[tuple] = None
+        if flags & 1:
+            if len(buf) < offset + 4 * count:
+                raise AlertColumnsCodecError("truncated attribute column")
+            lengths = struct.unpack_from(_U32S % count, buf, offset)
+            offset += 4 * count
+            decoded = []
+            for size in lengths:
+                value, end = _decode_value(buf, offset)
+                if end != offset + size:
+                    raise AlertColumnsCodecError("attribute blob length mismatch")
+                decoded.append(value)
+                offset = end
+            attributes = tuple(decoded)
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise AlertColumnsCodecError(str(exc)) from exc
+    if offset != len(buf):
+        raise AlertColumnsCodecError(
+            f"{len(buf) - offset} trailing byte(s) after a complete batch"
+        )
+    names, entities, source_ips, hosts, monitors = string_columns
+    return (timestamps, names, entities, source_ips, hosts, monitors, attributes)
+
+
 __all__ = [
     "AlertCategory",
     "Severity",
@@ -529,4 +795,8 @@ __all__ = [
     "AlertColumns",
     "pack_alert_columns",
     "unpack_alert_columns",
+    "AlertColumnsCodecError",
+    "ALERT_COLUMNS_MAGIC",
+    "encode_alert_columns",
+    "decode_alert_columns",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import sys
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -57,6 +58,26 @@ class CriticalAlertDetector:
         """Forget one entity."""
         self._history.pop(entity, None)
         self._detected.discard(entity)
+
+    def __getstate__(self) -> dict:
+        """Canonical pickle: set-valued state as sorted tuples.
+
+        A raw ``set`` pickles in iteration order, which depends on the
+        per-process hash seed and insertion history — checkpoint →
+        restore → checkpoint would not be byte-identical.
+        """
+        state = self.__dict__.copy()
+        state["_critical"] = tuple(sorted(self._critical))
+        state["_detected"] = tuple(sorted(self._detected))
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Intern keys exactly as pickle's default BUILD path does, so a
+        # restored instance re-pickles to the same bytes (memo hits on
+        # the shared attribute-name strings).
+        self.__dict__.update((sys.intern(k), v) for k, v in state.items())
+        self._critical = set(state["_critical"])
+        self._detected = set(state["_detected"])
 
     def observe(self, alert: Alert) -> Optional[Detection]:
         """Consume one alert; detect iff it is a critical alert."""
@@ -180,6 +201,18 @@ class NaiveBayesDetector:
         """Forget one entity."""
         self._history.pop(entity, None)
         self._detected.discard(entity)
+
+    def __getstate__(self) -> dict:
+        """Canonical pickle: set-valued state as a sorted tuple (see
+        :meth:`CriticalAlertDetector.__getstate__`)."""
+        state = self.__dict__.copy()
+        state["_detected"] = tuple(sorted(self._detected))
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Key interning: see CriticalAlertDetector.__setstate__.
+        self.__dict__.update((sys.intern(k), v) for k, v in state.items())
+        self._detected = set(state["_detected"])
 
     def observe(self, alert: Alert) -> Optional[Detection]:
         """Consume one alert; detect when the cumulative log-odds cross the threshold."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import sys
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .alerts import Alert, AlertVocabulary, DEFAULT_VOCABULARY
@@ -205,6 +206,24 @@ class RuleBasedDetector:
         self._history.pop(entity, None)
         self._fired.pop(entity, None)
         self._detected_entities.discard(entity)
+
+    def __getstate__(self) -> dict:
+        """Canonical pickle: set-valued state as a sorted tuple.
+
+        A raw ``set`` pickles in iteration order, which depends on the
+        per-process hash seed and insertion history — checkpoint →
+        restore → checkpoint would not be byte-identical.
+        """
+        state = self.__dict__.copy()
+        state["_detected_entities"] = tuple(sorted(self._detected_entities))
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Intern keys exactly as pickle's default BUILD path does, so a
+        # restored instance re-pickles to the same bytes (memo hits on
+        # the shared attribute-name strings).
+        self.__dict__.update((sys.intern(k), v) for k, v in state.items())
+        self._detected_entities = set(state["_detected_entities"])
 
     def observe(self, alert: Alert) -> Optional[Detection]:
         """Consume one alert, returning a detection if any rule fires."""

@@ -30,6 +30,13 @@ Each chaos campaign is a regular fuzzer campaign plus a seeded
     A detector raising mid-batch (on a fuzzer-chosen alert name) is not
     a death: both backends surface the same typed error with the
     worker-side traceback preserved, and the pipeline stays drivable.
+``shm-kill``
+    The zero-copy transport's supervised-heal contract: a pipeline on
+    ``transport="shm"`` with two batches pipelined per shard has a
+    worker SIGKILLed while shared-memory ring descriptors are genuinely
+    in flight; the heal must replay the ring payloads FIFO so output is
+    bit-identical to an uninterrupted serial run, and no ``/dev/shm``
+    segment may outlive any leg (checked for every fault kind).
 
 PR 8 adds three *service-level* legs (composed separately by
 :meth:`ChaosComposer.compose_service`, so the pinned pipeline plans
@@ -58,10 +65,12 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import os
+import signal
 import tempfile
 import traceback
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -71,13 +80,24 @@ from ..core.detector import Detector
 from ..incidents import DEFAULT_CATALOGUE
 from ..testbed.pipeline import TestbedPipeline
 from ..testbed.sharding import ShardRecoveryError, ShardWorkerError, shard_of
+from ..testbed.shm_ring import SEGMENT_PREFIX
 from .campaign import Campaign, CampaignComposer
 from .oracle import DifferentialOracle, OracleConfig, ReplayResult
 
 #: Fault leg kinds a plan may request.  The first four target the
 #: pipeline directly; the service kinds (PR 8) drive the same faults
-#: through a live :mod:`repro.service` socket front-end.
-FAULT_KINDS = ("split", "kill", "heal", "poison", "disconnect", "reshard-kill", "shed")
+#: through a live :mod:`repro.service` socket front-end; ``shm-kill``
+#: targets the zero-copy shared-memory transport's heal-replay path.
+FAULT_KINDS = (
+    "split",
+    "kill",
+    "heal",
+    "poison",
+    "disconnect",
+    "reshard-kill",
+    "shed",
+    "shm-kill",
+)
 
 #: The socket-level legs, composed by :meth:`ChaosComposer.compose_service`.
 SERVICE_FAULT_KINDS = ("disconnect", "reshard-kill", "shed")
@@ -89,6 +109,10 @@ _PLAN_SALT = 0xC4A05
 #: Separate salt for service-leg plans: ``compose_service`` must not
 #: perturb (or depend on) the pinned ``compose`` plan stream.
 _SERVICE_SALT = 0x5EC41
+
+#: Separate salt for the shm-kill leg's draws: appending the leg must
+#: not perturb the pinned plan streams above (same reasoning).
+_SHM_SALT = 0x54A11
 
 
 @dataclasses.dataclass(frozen=True)
@@ -117,6 +141,10 @@ class FaultPlan:
     fault_event: int = 0
     #: ``reshard-kill``: the live reshard's target shard count.
     reshard_to: int = 0
+    #: Sub-batch transport the faulted pipeline runs on.  The default
+    #: keeps every pinned pre-shm plan byte-identical; ``shm-kill``
+    #: plans set ``"shm"`` to target the ring heal-replay path.
+    transport: str = "pickle"
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -135,6 +163,7 @@ class FaultPlan:
                 f"batch={self.kill_batch} shard={self.shard} ->{self.reshard_to}"
             ),
             "shed": f"batch={self.fault_event}",
+            "shm-kill": f"batch={self.kill_batch} shard={self.shard}",
         }[self.kind]
         return f"{self.kind}[{self.engine}:{self.n_shards}:{self.backend} {detail}]"
 
@@ -338,6 +367,40 @@ class ChaosComposer:
                         shard=0,
                     )
                 )
+
+        # Shm-kill leg: SIGKILL a worker while shared-memory ring
+        # descriptors are genuinely in flight to it.  Targets are pairs
+        # where batch ``kill_batch`` itself routes an alert to the
+        # shard, so the descriptor for that batch is sitting in the
+        # ring (uncollected, depth-2 window) at the moment of death and
+        # the heal must replay the ring payload.  Drawn from an
+        # independent salt so the pinned plan streams above stay
+        # byte-identical.
+        shm_rng = np.random.default_rng((self.seed, int(index), _SHM_SALT))
+        batches = campaign_batches(campaign)
+        shm_shards = int(shm_rng.choice([2, 4]))
+        shm_candidates = [
+            (batch_index, shard)
+            for batch_index, batch in enumerate(batches)
+            for shard in sorted(
+                {shard_of(alert.entity, shm_shards) for alert in batch}
+            )
+        ]
+        if shm_candidates:
+            kill_batch, shard = shm_candidates[
+                int(shm_rng.integers(0, len(shm_candidates)))
+            ]
+            plans.append(
+                FaultPlan(
+                    kind="shm-kill",
+                    n_shards=shm_shards,
+                    backend="process",
+                    engine=str(shm_rng.choice(["streaming", "batched"])),
+                    kill_batch=kill_batch,
+                    shard=shard,
+                    transport="shm",
+                )
+            )
         return campaign, plans
 
     def compose_service(self, index: int = 0) -> Tuple[Campaign, List[FaultPlan]]:
@@ -444,17 +507,41 @@ class ChaosOracle:
             "disconnect": self._run_disconnect,
             "reshard-kill": self._run_reshard_kill,
             "shed": self._run_shed,
+            "shm-kill": self._run_shm_kill,
         }
         for plan in plans:
             verdict.legs_run += 1
+            rings_before = self._ring_segments()
             try:
                 failures = runners[plan.kind](campaign, plan)
             except Exception:
                 failures = [
                     ChaosFailure(plan.label, f"oracle crashed:\n{traceback.format_exc()}")
                 ]
+            # Every leg — not just shm-kill — must tear its rings down:
+            # a segment surviving the leg is a /dev/shm leak.
+            leaked = self._ring_segments() - rings_before
+            if leaked:
+                failures = list(failures) + [
+                    ChaosFailure(
+                        plan.label,
+                        f"leaked /dev/shm ring segment(s): {sorted(leaked)}",
+                    )
+                ]
             verdict.failures.extend(failures)
         return verdict
+
+    @staticmethod
+    def _ring_segments() -> Set[str]:
+        """Names of live ``/dev/shm`` ring segments (leak detection)."""
+        try:
+            return {
+                name
+                for name in os.listdir("/dev/shm")
+                if name.startswith(SEGMENT_PREFIX)
+            }
+        except OSError:  # pragma: no cover - non-POSIX /dev/shm layout
+            return set()
 
     # -- shared helpers --------------------------------------------------
     def _build_pipeline(
@@ -470,6 +557,8 @@ class ChaosOracle:
             detectors={"factor_graph": tagger},
             n_shards=plan.n_shards,
             shard_backend=plan.backend,
+            transport=plan.transport,
+            max_inflight=2 if plan.transport == "shm" else 1,
             restart_policy=restart_policy,
             max_restarts=plan.max_restarts,
             backoff_base=plan.backoff_base,
@@ -489,6 +578,21 @@ class ChaosOracle:
         worker = pool._workers[shard]
         worker.process.kill()
         worker.process.join(timeout=5.0)
+
+    @staticmethod
+    def _freeze_shard(pipeline: TestbedPipeline, shard: int) -> None:
+        """SIGSTOP a shard worker so it cannot consume its next submit.
+
+        Freezing *before* the kill batch is submitted makes the shm-kill
+        leg deterministic: a merely-SIGKILLed worker can race the signal
+        and answer the batch first, and if no later batch routes to the
+        shard the death would go unobserved (no heal to assert on).  A
+        frozen worker can never reply, so the collect for the kill batch
+        is guaranteed to detect the death.  SIGKILL terminates stopped
+        processes, so no resume is needed.
+        """
+        pool = pipeline.detector_pools["factor_graph"]
+        os.kill(pool._workers[shard].process.pid, signal.SIGSTOP)
 
     def _reference(self, campaign: Campaign, config: OracleConfig) -> ReplayResult:
         """Uninterrupted replay of the campaign under ``config``."""
@@ -657,6 +761,110 @@ class ChaosOracle:
                 ChaosFailure(plan.label, str(divergence))
                 for divergence in DifferentialOracle._compare(reference, result)
             )
+            healed = [
+                event
+                for event in pool.recovery_log.for_shard(plan.shard)
+                if event.healed
+            ]
+            if not healed:
+                failures.append(
+                    ChaosFailure(
+                        plan.label,
+                        f"no healed recovery for shard {plan.shard} in RecoveryLog "
+                        f"({len(pool.recovery_log)} event(s) total)",
+                    )
+                )
+        finally:
+            close_results = pipeline.close()
+        for name, close_result in close_results.items():
+            if not close_result.clean:
+                failures.append(
+                    ChaosFailure(
+                        plan.label,
+                        f"pool {name!r} close escalated: {close_result.escalations}",
+                    )
+                )
+        return failures
+
+    # -- shm-kill: ring descriptors in flight at the moment of death -----
+    def _run_shm_kill(self, campaign: Campaign, plan: FaultPlan) -> List[ChaosFailure]:
+        """SIGKILL with uncollected shared-memory descriptors in flight.
+
+        The pipeline runs on ``transport="shm"`` with a depth-2 window
+        driven two-phase (submit, then collect lagging one batch), and
+        the worker is frozen (SIGSTOP) just before batch ``kill_batch``
+        is submitted and SIGKILLed right after -- before its collect --
+        so the ring descriptor for that batch is genuinely outstanding.  The supervised heal must
+        rebuild the replica and replay the ring payloads FIFO; the
+        stream must stay bit-identical to a serial reference and no
+        ring segment may survive the leg (checked by :meth:`run`).
+        """
+        failures: List[ChaosFailure] = []
+        stripped = _batches_only(campaign)
+        reference = self._reference(
+            stripped,
+            OracleConfig(engine=plan.engine, n_shards=plan.n_shards, backend="serial"),
+        )
+        pipeline = self._build_pipeline(campaign, plan, restart_policy="restore")
+        pool = pipeline.detector_pools["factor_graph"]
+        detections: list[Detection] = []
+        window = pipeline.max_inflight
+        inflight = 0
+        try:
+            try:
+                for batch_index, batch in enumerate(campaign_batches(stripped)):
+                    while inflight >= window:
+                        detections.extend(pipeline.collect_detections())
+                        inflight -= 1
+                    if batch_index == plan.kill_batch:
+                        # Freeze first so the worker cannot answer the
+                        # kill batch before the SIGKILL lands — the
+                        # descriptor stays in the ring and the heal is
+                        # guaranteed to be observed at collect time.
+                        self._freeze_shard(pipeline, plan.shard)
+                    pipeline.submit_alerts(batch)
+                    inflight += 1
+                    if batch_index == plan.kill_batch:
+                        self._kill_shard(pipeline, plan.shard)
+                while inflight:
+                    detections.extend(pipeline.collect_detections())
+                    inflight -= 1
+            except ShardWorkerError:
+                failures.append(
+                    ChaosFailure(
+                        plan.label,
+                        f"restore policy surfaced an error:\n"
+                        f"{traceback.format_exc()}",
+                    )
+                )
+                return failures
+            result = ReplayResult(
+                config=OracleConfig(
+                    engine=plan.engine,
+                    n_shards=plan.n_shards,
+                    backend=plan.backend,
+                    transport=plan.transport,
+                ),
+                detections=detections,
+                detection_log=list(pipeline.detections),
+                notifications=list(pipeline.responder.notifications),
+                actions=list(pipeline.responder.actions),
+                counters={
+                    key: pipeline.summary()[key] for key in reference.counters
+                },
+            )
+            failures.extend(
+                ChaosFailure(plan.label, str(divergence))
+                for divergence in DifferentialOracle._compare(reference, result)
+            )
+            if not pool.shm_batches:
+                failures.append(
+                    ChaosFailure(
+                        plan.label,
+                        "shm transport was never exercised "
+                        f"(shm_batches=0, shm_fallbacks={pool.shm_fallbacks})",
+                    )
+                )
             healed = [
                 event
                 for event in pool.recovery_log.for_shard(plan.shard)

@@ -9,7 +9,10 @@ axes never change a detection:
 * shard **backend** -- ``serial`` / ``process`` workers,
 * pipeline **driver** -- batch-synchronous ``ingest_alerts``, the
   overlapped ``ingest_alert_batches``, and the raw-record
-  ``ingest_raw_stream`` path.
+  ``ingest_raw_stream`` path,
+* shard **transport** -- ``pickle`` (pipe-pickled columns) / ``shm``
+  (zero-copy shared-memory rings with deep pipelining; process backend
+  only -- serial pools move nothing between processes).
 
 :class:`DifferentialOracle` turns that claim into a checked property:
 it replays one :class:`~repro.fuzz.campaign.Campaign` through every
@@ -50,6 +53,9 @@ SHARD_COUNTS = (1, 2, 4)
 BACKENDS = ("serial", "process")
 #: Pipeline drivers under differential test.
 DRIVERS = ("sync", "alert_stream", "raw_stream")
+#: Shard transports under differential test (``shm`` is exercised only
+#: with the process backend; a serial pool has no transport).
+TRANSPORTS = ("pickle", "shm")
 
 #: ``PipelineStats``-derived summary keys that must match bit-for-bit
 #: (timing-valued keys are excluded: wall time is not deterministic).
@@ -78,12 +84,13 @@ for _note, _alert_name in ZEEK_NOTICE_MAP.items():
 
 @dataclasses.dataclass(frozen=True)
 class OracleConfig:
-    """One point of the engine x shards x backend x driver matrix."""
+    """One point of the engine x shards x backend x driver x transport matrix."""
 
     engine: str = "streaming"
     n_shards: int = 1
     backend: str = "serial"
     driver: str = "sync"
+    transport: str = "pickle"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -92,19 +99,42 @@ class OracleConfig:
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.driver not in DRIVERS:
             raise ValueError(f"unknown driver {self.driver!r}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {self.transport!r}")
         if self.n_shards < 1:
             raise ValueError("n_shards must be >= 1")
 
     @property
     def label(self) -> str:
-        """Compact ``engine:shards:backend:driver`` spec string."""
-        return f"{self.engine}:{self.n_shards}:{self.backend}:{self.driver}"
+        """Compact ``engine:shards:backend:driver[:transport]`` spec string.
+
+        The transport field is emitted only when it differs from the
+        default ``pickle``, so every pre-existing pinned label (and the
+        committed benchmark baselines that embed them) is unchanged.
+        """
+        base = f"{self.engine}:{self.n_shards}:{self.backend}:{self.driver}"
+        if self.transport != "pickle":
+            return f"{base}:{self.transport}"
+        return base
 
     @classmethod
     def parse(cls, spec: str) -> "OracleConfig":
-        """Inverse of :attr:`label` (``streaming:4:process:sync``)."""
-        engine, shards, backend, driver = spec.split(":")
-        return cls(engine=engine, n_shards=int(shards), backend=backend, driver=driver)
+        """Inverse of :attr:`label` (``streaming:4:process:sync[:shm]``)."""
+        fields = spec.split(":")
+        if len(fields) == 4:
+            engine, shards, backend, driver = fields
+            transport = "pickle"
+        elif len(fields) == 5:
+            engine, shards, backend, driver, transport = fields
+        else:
+            raise ValueError(f"malformed oracle config spec {spec!r}")
+        return cls(
+            engine=engine,
+            n_shards=int(shards),
+            backend=backend,
+            driver=driver,
+            transport=transport,
+        )
 
 
 #: The reference configuration: the seed execution path.
@@ -112,11 +142,32 @@ REFERENCE_CONFIG = OracleConfig(engine="naive", n_shards=1, backend="serial", dr
 
 
 def full_matrix() -> list[OracleConfig]:
-    """The complete engine x shards x backend x driver matrix (72 configs)."""
-    return [
+    """The complete engine x shards x backend x driver x transport matrix.
+
+    72 pickle-transport configs (the pre-existing matrix, labels
+    unchanged) plus the ``shm`` variant of every process-backend config
+    (transport is a property of the worker boundary, so serial configs
+    have no shm counterpart) -- 108 total.
+    """
+    configs = [
         OracleConfig(engine=e, n_shards=s, backend=b, driver=d)
         for e, s, b, d in itertools.product(ENGINES, SHARD_COUNTS, BACKENDS, DRIVERS)
     ]
+    # Materialise before extending: a lazy generator over ``configs``
+    # would also iterate the shm configs it appends (every one of them
+    # process-backend) and never terminate.
+    shm_variants = [
+        OracleConfig(
+            engine=c.engine,
+            n_shards=c.n_shards,
+            backend=c.backend,
+            driver=c.driver,
+            transport="shm",
+        )
+        for c in configs
+        if c.backend == "process"
+    ]
+    return configs + shm_variants
 
 
 def quick_matrix() -> list[OracleConfig]:
@@ -134,6 +185,9 @@ def quick_matrix() -> list[OracleConfig]:
         OracleConfig("batched", 1, "serial", "sync"),
         OracleConfig("batched", 4, "process", "alert_stream"),
         OracleConfig("batched", 2, "serial", "raw_stream"),
+        OracleConfig("streaming", 4, "process", "alert_stream", "shm"),
+        OracleConfig("batched", 2, "process", "sync", "shm"),
+        OracleConfig("naive", 4, "process", "raw_stream", "shm"),
     ]
 
 
@@ -242,6 +296,10 @@ class DifferentialOracle:
             detectors={"factor_graph": tagger},
             n_shards=config.n_shards,
             shard_backend=config.backend,
+            transport=config.transport,
+            # shm replays also exercise the deeper pipeline the zero-copy
+            # transport exists for: two batches in flight per shard.
+            max_inflight=2 if config.transport == "shm" else 1,
         ) as pipeline:
             if config.driver == "sync":
                 for event in campaign.events:
@@ -383,6 +441,7 @@ __all__ = [
     "SHARD_COUNTS",
     "BACKENDS",
     "DRIVERS",
+    "TRANSPORTS",
     "COMPARED_COUNTERS",
     "OracleConfig",
     "REFERENCE_CONFIG",

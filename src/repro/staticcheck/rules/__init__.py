@@ -6,4 +6,5 @@ from . import (  # noqa: F401
     pickle_safety,
     semiring,
     shard_boundary,
+    shm_lifecycle,
 )

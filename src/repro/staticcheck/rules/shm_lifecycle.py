@@ -1,0 +1,109 @@
+"""Rule ``shm-lifecycle``: shared-memory owners must unlink on close.
+
+A ``multiprocessing.shared_memory.SharedMemory(..., create=True)`` call
+allocates a named ``/dev/shm`` segment that outlives the process unless
+some owner calls ``unlink()``.  ``close()`` alone only unmaps: a pool
+that creates rings and forgets to unlink them on its shutdown path
+leaks a segment per shard per run (and earns a resource-tracker warning
+at interpreter exit).  The leak-hunting test fixtures catch this
+dynamically; this rule catches it at review time, including on paths no
+test happens to drive.
+
+Scope: ``testbed/`` (where the ring transport lives).  The unit audited
+is the enclosing class (or the whole module for free functions): a
+flagged creation is one where no method of that class whose name reads
+as a close path -- ``close``/``teardown``/``shutdown``/``unlink``/
+``release``/``cleanup``/``__del__``/``__exit__`` -- contains an
+``.unlink()`` call.  Attaching by name (no ``create=True``) is the
+reader side and is never flagged: readers must *not* unlink.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..findings import Finding
+from ..registry import Rule, register
+from ..walker import ModuleModel
+
+#: Method-name fragments that mark an owner-side close path.
+_CLOSE_PATH_FRAGMENTS = (
+    "close",
+    "teardown",
+    "shutdown",
+    "unlink",
+    "release",
+    "cleanup",
+)
+_CLOSE_PATH_EXACT = frozenset({"__del__", "__exit__", "__aexit__"})
+
+
+def _is_close_path(name: str) -> bool:
+    lowered = name.lower()
+    return name in _CLOSE_PATH_EXACT or any(
+        fragment in lowered for fragment in _CLOSE_PATH_FRAGMENTS
+    )
+
+
+def _is_owning_creation(module: ModuleModel, node: ast.AST) -> bool:
+    """Whether ``node`` is ``SharedMemory(..., create=True)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = module.qualified_name(node.func) or module.dotted(node.func) or ""
+    if not (name == "SharedMemory" or name.endswith(".SharedMemory")):
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _has_close_path_unlink(scope: ast.AST) -> bool:
+    """Whether any close-path function under ``scope`` calls ``.unlink()``."""
+    for item in ast.walk(scope):
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_close_path(item.name):
+            continue
+        for node in ast.walk(item):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "unlink"
+            ):
+                return True
+    return False
+
+
+@register
+class ShmLifecycleRule(Rule):
+    id = "shm-lifecycle"
+    severity = "error"
+    description = (
+        "SharedMemory(create=True) owners must unlink() the segment on a "
+        "close path, or it leaks in /dev/shm"
+    )
+    paths = ("testbed/",)
+
+    def check(self, module: ModuleModel) -> Iterable[Finding]:
+        creations: List[ast.Call] = [
+            node
+            for node in ast.walk(module.tree)
+            if _is_owning_creation(module, node)
+        ]
+        for creation in creations:
+            scope: Optional[ast.AST] = module.enclosing_class(creation)
+            if scope is None:
+                scope = module.tree  # free function: audit the module
+            if _has_close_path_unlink(scope):
+                continue
+            unit = scope.name if isinstance(scope, ast.ClassDef) else "this module"
+            yield self.finding(
+                module,
+                creation,
+                f"SharedMemory segment created with create=True but {unit} "
+                "has no close-path method calling unlink(); the owner must "
+                "unlink on close or the segment leaks in /dev/shm",
+            )

@@ -126,6 +126,29 @@ class TestbedPipeline:
         through to :class:`~repro.testbed.sharding.ShardedDetectorPool`
         -- ``"raise"`` (default) surfaces deaths as typed errors;
         ``"restore"`` self-heals them from per-shard snapshots.
+    transport:
+        Sub-batch transport for process-backed pools: ``"pickle"``
+        (default, pipe-pickled columns) or ``"shm"`` (zero-copy
+        shared-memory rings with descriptor pipes; see
+        :data:`repro.testbed.sharding.TRANSPORTS`).  Serial pools have
+        no transport and ignore it.  Transport choice never changes
+        detections -- the fuzz oracle's transport axis holds both
+        bit-identical.
+    max_inflight:
+        Pipelining depth of the overlapped drivers: how many detection
+        batches may be submitted-but-uncollected at once (default 1,
+        the classic double-buffered schedule).  Deeper windows hide
+        fan-out latency behind worker compute; detector controls still
+        apply at fully-quiesced submission boundaries, so detections
+        and counters stay bit-identical at any depth.
+    ring_capacity:
+        Per-shard shared-memory ring size in bytes for the ``"shm"``
+        transport (default: the pool's
+        :data:`~repro.testbed.shm_ring.DEFAULT_RING_CAPACITY`).  Size
+        it to hold ``max_inflight`` encoded sub-batches; batches that
+        do not fit fall back to the pickle path (counted in
+        ``shm_fallbacks``), so undersizing costs throughput, never
+        correctness.
     """
 
     #: Not a pytest test class (the name merely starts with "Test").
@@ -148,7 +171,12 @@ class TestbedPipeline:
         max_restarts: int = 3,
         backoff_base: float = 0.05,
         snapshot_every: int = 1,
+        transport: str = "pickle",
+        max_inflight: int = 1,
+        ring_capacity: Optional[int] = None,
     ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self.vocabulary = vocabulary or DEFAULT_VOCABULARY
         self.honeypot = honeypot
         self.router = router or BlackHoleRouter()
@@ -162,6 +190,9 @@ class TestbedPipeline:
         self.max_restarts = int(max_restarts)
         self.backoff_base = float(backoff_base)
         self.snapshot_every = int(snapshot_every)
+        self.transport = transport
+        self.max_inflight = int(max_inflight)
+        self.ring_capacity = ring_capacity
         templates: dict[str, Detector] = detectors or {
             "factor_graph": AttackTagger(vocabulary=self.vocabulary)
         }
@@ -210,6 +241,9 @@ class TestbedPipeline:
     def _build_pool(self, detector: Detector) -> ShardedDetectorPool:
         if self.n_shards == 1 and self.shard_backend == "serial":
             return ShardedDetectorPool.wrap(detector)
+        extra: dict = {}
+        if self.ring_capacity is not None:
+            extra["ring_capacity"] = self.ring_capacity
         return ShardedDetectorPool.from_template(
             detector,
             n_shards=self.n_shards,
@@ -218,6 +252,9 @@ class TestbedPipeline:
             max_restarts=self.max_restarts,
             backoff_base=self.backoff_base,
             snapshot_every=self.snapshot_every,
+            transport=self.transport,
+            max_inflight=self.max_inflight,
+            **extra,
         )
 
     def _is_facade_pool(self, pool: ShardedDetectorPool) -> bool:
@@ -349,27 +386,44 @@ class TestbedPipeline:
             yield self._prep_filtered(alerts)
 
     def _drive_overlapped(self, filtered_batches) -> list[Detection]:
-        """Double-buffered schedule over prepped (filtered) batches.
+        """Pipelined schedule over prepped (filtered) batches.
 
-        Advancing the ``filtered_batches`` generator preps batch N+1;
-        the loop body interleaves that with the detection stage's
-        submit/collect so the prep of batch N+1 happens while the shard
-        workers hold batch N::
+        Advancing the ``filtered_batches`` generator preps the next
+        batch; the loop keeps up to ``max_inflight`` detection batches
+        submitted-but-uncollected, so prep *and* older batches' worker
+        compute hide behind each other.  At the default depth 1 this is
+        the classic double-buffered schedule::
 
             prep 1, submit 1, [prep 2, collect 1, respond 1, submit 2],
             [prep 3, collect 2, respond 2, submit 3], ..., collect B,
             respond B
+
+        At depth ``k`` the window ramps up to ``k`` submits before the
+        first collect, which lets shard workers desynchronise across
+        batches (shard 0 may be two batches ahead of shard 1) -- the
+        per-shard FIFO descriptor protocol and position-merge keep the
+        output order identical.  Detector controls requested mid-stream
+        need a fully-quiesced pool (``reset_entity`` et al. refuse with
+        batches pending), so a pending control first drains the whole
+        window -- exactly the stream position a depth-1 schedule or a
+        batch-synchronous caller applies it at.
         """
         detections: list[Detection] = []
+        depth = self.max_inflight
         try:
-            inflight = False
+            inflight = 0
             for filtered in filtered_batches:
-                if inflight:
-                    inflight = False
+                # A deferred control must see an idle pool *and* sit at
+                # the same submission boundary as in the depth-1
+                # schedule: drain everything, then let the flush inside
+                # _submit_detection apply it before this submit.
+                while inflight and (self._deferred_controls or inflight >= depth):
+                    inflight -= 1
                     detections.extend(self._collect_and_respond())
                 self._submit_detection(filtered)
-                inflight = True
-            if inflight:
+                inflight += 1
+            while inflight:
+                inflight -= 1
                 detections.extend(self._collect_and_respond())
             # Controls requested while the final batch was in flight
             # (there is no further submit to flush them).
@@ -665,6 +719,17 @@ class TestbedPipeline:
             ),
             "reshard_events": float(
                 sum(len(pool.reshard_log) for pool in self.detector_pools.values())
+            ),
+            # Zero-copy transport accounting: sub-batches shipped via
+            # the shared-memory rings vs. batches that fell back to the
+            # pipe (codec miss or ring full).  Run-dependent plumbing
+            # telemetry (ring occupancy varies with scheduling), so
+            # excluded from the oracle's compared counters.
+            "shm_batches": float(
+                sum(pool.shm_batches for pool in self.detector_pools.values())
+            ),
+            "shm_fallbacks": float(
+                sum(pool.shm_fallbacks for pool in self.detector_pools.values())
             ),
             "stage_seconds": dict(self.stats.stage_seconds),
         }

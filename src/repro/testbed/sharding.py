@@ -22,14 +22,19 @@ Two execution backends share the same routing and merge logic:
 * ``serial`` (default) -- ``n_shards`` detector replicas in the calling
   process, processed shard-by-shard.  Deterministic, dependency-free,
   and the reference the process backend is tested against.
-* ``process`` -- one persistent worker process per shard, fed alert
-  sub-batches over pipes.  Workers hold their detector replica for the
-  lifetime of the pool (detector state must persist across batches), so
-  the per-batch cost is pickling the sub-batches, not detector state.
-  Sub-batches cross the pipe in the columnar representation of
+* ``process`` -- one persistent worker process per shard.  Workers
+  hold their detector replica for the lifetime of the pool (detector
+  state must persist across batches), so the per-batch cost is moving
+  the sub-batches, not detector state.  Two transports (see
+  :data:`TRANSPORTS`): ``pickle`` sends the columnar representation of
   :func:`repro.core.alerts.pack_alert_columns` (parallel tuples of
-  primitive fields instead of per-``Alert`` objects), rebuilt into
-  ``Alert`` instances worker-side.
+  primitive fields instead of per-``Alert`` objects) over the worker
+  pipe; ``shm`` writes its flat binary encoding
+  (:func:`repro.core.alerts.encode_alert_columns`) into a per-shard
+  shared-memory ring and sends only an ``(offset, length, seq)``
+  descriptor, so the payload crosses zero pipe buffers and the worker
+  decodes straight out of the mapped segment.  Either way the batch is
+  rebuilt into ``Alert`` instances worker-side.
 
 **Non-blocking fan-out.**  ``observe_batch`` is sugar over the
 two-phase :meth:`ShardedDetectorPool.submit_batch` /
@@ -70,15 +75,33 @@ import traceback
 import zlib
 from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.alerts import Alert, pack_alert_columns, unpack_alert_columns
+from ..core.alerts import (
+    Alert,
+    AlertColumnsCodecError,
+    decode_alert_columns,
+    encode_alert_columns,
+    pack_alert_columns,
+    unpack_alert_columns,
+)
 from ..core.attack_tagger import Detection
 from ..core.detector import Detector
+from .shm_ring import DEFAULT_RING_CAPACITY, ShardRing
 
 #: Supported execution backends.
 BACKENDS = ("serial", "process")
 
 #: Supported worker-death policies (process backend).
 RESTART_POLICIES = ("raise", "restore")
+
+#: Supported sub-batch transports (process backend; serial has no
+#: transport).  ``pickle``: columnar sub-batches pickled onto the
+#: worker pipes (the original path).  ``shm``: the flat binary encoding
+#: of :func:`repro.core.alerts.encode_alert_columns` written into a
+#: per-shard shared-memory ring, with only ``(offset, length, seq)``
+#: descriptors crossing the pipe; batches the codec cannot express and
+#: ring-full conditions fall back to the pipe transparently (counted in
+#: ``shm_fallbacks``).
+TRANSPORTS = ("pickle", "shm")
 
 
 class ShardWorkerError(RuntimeError):
@@ -254,7 +277,7 @@ class DetectorTemplate:
         return copy.deepcopy(self.template)
 
 
-def _shard_worker_main(factory, connection) -> None:
+def _shard_worker_main(factory, connection, ring_name: Optional[str] = None) -> None:
     """Worker loop of one process shard: owns a detector replica.
 
     Commands arrive as ``(verb, payload)`` tuples; every command is
@@ -263,22 +286,36 @@ def _shard_worker_main(factory, connection) -> None:
     simple send-all / receive-all round per batch and a detector
     exception can never wedge the parent or lose its traceback.
     ``observe`` receives a columnar sub-batch
-    (:func:`repro.core.alerts.pack_alert_columns`) and replies with
-    ``(hits, busy_seconds, kernel_seconds)`` where ``hits`` are
-    ``(position, detection)`` pairs indexed into the sub-batch,
-    ``busy_seconds`` is the CPU time the unpack+observe loop consumed
-    (used by the sharding benchmark's critical-path metric), and
-    ``kernel_seconds`` is the wall-clock slice of that spent inside the
-    detector's vectorised decode kernel (0.0 for detectors without
-    one).  A detector exposing the optional ``observe_batch_indexed``
-    extension (see :class:`repro.core.detector.Detector`) gets the
-    whole sub-batch in one call — the ``engine="batched"`` stacked
-    cross-entity kernel — instead of the per-alert loop.  ``snapshot`` replies
-    with the pickled detector replica; ``restore`` replaces the
-    replica with an unpickled snapshot (clearing any recorded factory
-    failure, so a supervisor can restore into a worker whose factory
-    crashed at spawn).
+    (:func:`repro.core.alerts.pack_alert_columns`), or its flat binary
+    encoding as raw bytes (the shm transport's pipe fallback), and
+    replies with ``(hits, busy_seconds, kernel_seconds)`` where
+    ``hits`` are ``(position, detection)`` pairs indexed into the
+    sub-batch, ``busy_seconds`` is the CPU time the unpack+observe
+    loop consumed (used by the sharding benchmark's critical-path
+    metric), and ``kernel_seconds`` is the wall-clock slice of that
+    spent inside the detector's vectorised decode kernel (0.0 for
+    detectors without one).  ``observe_shm`` is the zero-copy variant:
+    its payload is a ``(ring_offset, length, seq)`` descriptor and the
+    batch bytes are read straight out of the attached shared-memory
+    ring (``seq`` must be strictly increasing -- a stale or reordered
+    descriptor is an error, never a silently wrong batch).  A detector
+    exposing the optional ``observe_batch_indexed`` extension (see
+    :class:`repro.core.detector.Detector`) gets the whole sub-batch in
+    one call — the ``engine="batched"`` stacked cross-entity kernel —
+    instead of the per-alert loop.  ``snapshot`` replies with the
+    pickled detector replica; ``restore`` replaces the replica with an
+    unpickled snapshot (clearing any recorded factory failure, so a
+    supervisor can restore into a worker whose factory crashed at
+    spawn).
     """
+    ring: Optional[ShardRing] = None
+    ring_failure: Optional[str] = None
+    last_seq = -1
+    if ring_name is not None:
+        try:
+            ring = ShardRing.attach(ring_name)
+        except Exception:
+            ring_failure = traceback.format_exc()
     try:
         failure: Optional[str] = None
         try:
@@ -302,18 +339,35 @@ def _shard_worker_main(factory, connection) -> None:
                 connection.send(("error", failure))
                 continue
             try:
-                if command == "observe":
+                if command in ("observe", "observe_shm"):
                     started = time.process_time()
+                    if command == "observe_shm":
+                        if ring is None:
+                            raise RuntimeError(
+                                "observe_shm without an attached ring"
+                                + (f":\n{ring_failure}" if ring_failure else "")
+                            )
+                        offset, length, seq = payload
+                        if seq <= last_seq:
+                            raise RuntimeError(
+                                f"shm descriptor seq {seq} not after {last_seq}"
+                            )
+                        last_seq = seq
+                        columns = decode_alert_columns(ring.view(offset, length))
+                    elif isinstance(payload, (bytes, bytearray, memoryview)):
+                        columns = decode_alert_columns(payload)
+                    else:
+                        columns = payload
                     kernel_before = getattr(detector, "kernel_seconds", 0.0)
                     indexed = getattr(detector, "observe_batch_indexed", None)
                     if indexed is not None:
                         hits: List[Tuple[int, Detection]] = indexed(
-                            unpack_alert_columns(payload)
+                            unpack_alert_columns(columns)
                         )
                     else:
                         hits = []
                         for position, alert in enumerate(
-                            unpack_alert_columns(payload)
+                            unpack_alert_columns(columns)
                         ):
                             detection = detector.observe(alert)
                             if detection is not None:
@@ -336,18 +390,26 @@ def _shard_worker_main(factory, connection) -> None:
                 connection.send(("error", traceback.format_exc()))
     except (EOFError, KeyboardInterrupt):  # parent went away
         pass
+    finally:
+        if ring is not None:
+            ring.close()  # unmap only; the parent owns the unlink
 
 
 class _ProcessShard:
     """Parent-side handle of one worker process."""
 
-    def __init__(self, index: int, factory: DetectorTemplate) -> None:
+    def __init__(
+        self,
+        index: int,
+        factory: DetectorTemplate,
+        ring_name: Optional[str] = None,
+    ) -> None:
         self.index = index
         context = multiprocessing.get_context()
         self.connection, child_connection = context.Pipe()
         self.process = context.Process(
             target=_shard_worker_main,
-            args=(factory, child_connection),
+            args=(factory, child_connection, ring_name),
             daemon=True,
         )
         self.process.start()
@@ -532,6 +594,25 @@ class ShardedDetectorPool:
         sub-batches since the last snapshot (``1`` = after every
         collected batch; larger values trade snapshot cost for a
         longer FIFO replay after a death).
+    transport:
+        How sub-batches reach the workers (process backend only;
+        ignored by ``serial``).  ``"pickle"`` (default): columnar
+        tuples pickled onto the pipe.  ``"shm"``: the flat binary
+        encoding written into a per-shard shared-memory ring with only
+        ``(offset, length, seq)`` descriptors on the pipe; batches the
+        codec cannot express, or that do not fit the ring, transparently
+        fall back to the pipe (``shm_fallbacks`` counts them).  Rings
+        are transient plumbing: excluded from snapshots/checkpoints,
+        torn down and rebuilt across :meth:`reshard`/:meth:`reopen`,
+        and unlinked by :meth:`close`.
+    max_inflight:
+        Declared pipelining depth: how many submitted-but-uncollected
+        batches the driving layer should keep in flight per shard
+        (>= 1).  The pool does not enforce a cap -- callers may submit
+        freely -- but overlapped drivers size their submission window
+        from it, and ring capacity planning assumes it.
+    ring_capacity:
+        Per-shard ring size in bytes for ``transport="shm"``.
 
     The pool accumulates the merged detection stream itself, so
     ``pool.detections`` is equivalent to the unsharded detector's
@@ -548,6 +629,9 @@ class ShardedDetectorPool:
         max_restarts: int = 3,
         backoff_base: float = 0.05,
         snapshot_every: int = 1,
+        transport: str = "pickle",
+        max_inflight: int = 1,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -561,12 +645,21 @@ class ShardedDetectorPool:
             raise ValueError("backoff_base must be >= 0")
         if snapshot_every < 1:
             raise ValueError("snapshot_every must be >= 1")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if ring_capacity < 1:
+            raise ValueError("ring_capacity must be >= 1")
         self.n_shards = int(n_shards)
         self.backend = backend
         self.restart_policy = restart_policy
         self.max_restarts = int(max_restarts)
         self.backoff_base = float(backoff_base)
         self.snapshot_every = int(snapshot_every)
+        self.transport = transport
+        self.max_inflight = int(max_inflight)
+        self.ring_capacity = int(ring_capacity)
         #: Every supervised worker recovery ever performed (survives
         #: reset/reopen: it is an operations log, not pool state).
         self.recovery_log = RecoveryLog()
@@ -601,15 +694,34 @@ class ShardedDetectorPool:
         #: Most batches ever simultaneously in flight (submitted,
         #: uncollected) -- checkpointed as service telemetry.
         self.inflight_high_water = 0
+        #: Sub-batches shipped zero-copy through the shared-memory
+        #: rings / via the pipe fallback (codec miss or ring full).
+        #: Runtime telemetry, not checkpointed (rings are transient).
+        self.shm_batches = 0
+        self.shm_fallbacks = 0
+        #: Per-shard rings (shm transport), parent-owned; ``_transit``
+        #: mirrors every outstanding observe message per shard in FIFO
+        #: order -- the ring region it occupies, or ``None`` for a
+        #: pipe-sent payload -- and ``_ring_seq`` stamps descriptors.
+        self._rings: List[ShardRing] = []
+        self._transit: List[Deque[Optional[Tuple[int, int]]]] = []
+        self._ring_seq = 0
         self._closed = False
         self._reset_supervision()
         if backend == "serial":
             self.shards = [detector_factory() for _ in range(self.n_shards)]
         else:
-            self._workers = [
-                _ProcessShard(shard, detector_factory)
-                for shard in range(self.n_shards)
-            ]
+            try:
+                self._build_rings()
+                self._workers = [
+                    self._spawn_worker(shard) for shard in range(self.n_shards)
+                ]
+            except Exception:
+                for worker in self._workers:
+                    worker.close()
+                self._workers = []
+                self._teardown_rings()
+                raise
 
     @classmethod
     def wrap(cls, detector: Detector) -> "ShardedDetectorPool":
@@ -633,6 +745,9 @@ class ShardedDetectorPool:
         max_restarts: int = 3,
         backoff_base: float = 0.05,
         snapshot_every: int = 1,
+        transport: str = "pickle",
+        max_inflight: int = 1,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
     ) -> "ShardedDetectorPool":
         """Pool whose shards are clones of a pristine template detector."""
         return cls(
@@ -643,6 +758,9 @@ class ShardedDetectorPool:
             max_restarts=max_restarts,
             backoff_base=backoff_base,
             snapshot_every=snapshot_every,
+            transport=transport,
+            max_inflight=max_inflight,
+            ring_capacity=ring_capacity,
         )
 
     @property
@@ -665,6 +783,102 @@ class ShardedDetectorPool:
         ]
         self._unacked: List[int] = [0] * self.n_shards
         self._restarts_used: List[int] = [0] * self.n_shards
+
+    # -- shared-memory transport plumbing ----------------------------------
+    @property
+    def _shm(self) -> bool:
+        """Whether sub-batches travel through shared-memory rings."""
+        return self.backend == "process" and self.transport == "shm"
+
+    def _build_rings(self, n_shards: Optional[int] = None) -> None:
+        """Create one parent-owned ring per shard (shm transport only).
+
+        ``n_shards`` overrides the pool's current width during a live
+        reshard, where the rings for the *new* layout are built before
+        ``self.n_shards`` is updated.
+        """
+        if not self._shm:
+            return
+        count = self.n_shards if n_shards is None else n_shards
+        try:
+            self._rings = [
+                ShardRing.create(self.ring_capacity) for _ in range(count)
+            ]
+        except Exception:
+            self._teardown_rings()
+            raise
+        self._transit = [collections.deque() for _ in range(count)]
+
+    def _teardown_rings(self) -> None:
+        """Unmap and unlink every ring segment (idempotent)."""
+        rings, self._rings = self._rings, []
+        for ring in rings:
+            ring.close()
+        self._transit = []
+
+    def _spawn_worker(self, shard: int) -> _ProcessShard:
+        """One worker process, attached to its shard's ring if any."""
+        if self._rings:
+            return _ProcessShard(
+                shard, self.detector_factory, ring_name=self._rings[shard].name
+            )
+        return _ProcessShard(shard, self.detector_factory)
+
+    def _finish_transit(self, shard: int, status: str) -> None:
+        """Retire the oldest in-transit observe payload after its reply.
+
+        Consuming a reply with status ``ok``/``error``/``dead`` means
+        the worker has read (or will never read) the oldest outstanding
+        message, so its ring region -- if it used one -- is released
+        for reuse.  A ``timeout`` reply releases nothing: the worker is
+        alive and may still read the region later.
+        """
+        if not self._transit or status == "timeout":
+            return
+        queue = self._transit[shard]
+        if not queue:
+            return
+        region = queue.popleft()
+        if region is not None:
+            self._rings[shard].release(*region)
+
+    def _send_observe(self, shard: int, sub_batch: List[Alert]):
+        """Ship one sub-batch to a worker; returns ``(payload, delivered)``.
+
+        ``payload`` is what a supervised heal must re-drive (the flat
+        binary encoding when the codec succeeded, else the packed
+        columns) and ``delivered`` whether the message reached a live
+        worker.  With ``transport="shm"`` the encoded bytes are written
+        into the shard's ring and only an ``(offset, length, seq)``
+        descriptor crosses the pipe; a batch outside the codec's type
+        set falls back to the legacy pickled-columns path and a full
+        (or too-small) ring falls back to sending the already-encoded
+        bytes over the pipe -- both transparent to the caller and
+        counted in ``shm_fallbacks``.
+        """
+        packed = pack_alert_columns(sub_batch)
+        if not self._shm:
+            return packed, self._workers[shard].send("observe", packed)
+        try:
+            encoded = encode_alert_columns(packed)
+        except AlertColumnsCodecError:
+            self.shm_fallbacks += 1
+            delivered = self._workers[shard].send("observe", packed)
+            self._transit[shard].append(None)
+            return packed, delivered
+        offset = self._rings[shard].write(encoded)
+        if offset is None:
+            self.shm_fallbacks += 1
+            delivered = self._workers[shard].send("observe", encoded)
+            self._transit[shard].append(None)
+            return encoded, delivered
+        self._ring_seq += 1
+        delivered = self._workers[shard].send(
+            "observe_shm", (offset, len(encoded), self._ring_seq)
+        )
+        self._transit[shard].append((offset, len(encoded)))
+        self.shm_batches += 1
+        return encoded, delivered
 
     #: Entity->shard memo entries kept (LRU): bounds parent-process
     #: memory on the unbounded-cardinality entity streams a long-lived
@@ -765,7 +979,7 @@ class ShardedDetectorPool:
         """Ship one batch to the shards without waiting for the results.
 
         Returns a ticket for :meth:`collect`.  With the process backend
-        the sub-batches are pickled (columnar) onto the worker pipes
+        the sub-batches are shipped to the workers (see ``transport``)
         and the call returns immediately, so the caller can overlap
         other work with the workers' compute.  The serial backend has
         nobody to overlap with and computes eagerly here; a detector
@@ -773,13 +987,15 @@ class ShardedDetectorPool:
         mirroring the process backend's semantics.  Tickets must be
         collected in submission order.
 
-        .. note:: "Non-blocking" is bounded by OS pipe capacity
-           (typically ~64 KiB): a send larger than the worker can
-           buffer blocks until the worker drains it, so keeping *many*
-           large batches in flight can stall the submit (and, if the
-           workers are simultaneously blocked sending large replies,
-           deadlock).  The overlapped pipeline driver keeps exactly
-           one batch in flight, which is always safe.
+        .. note:: With the ``pickle`` transport, "non-blocking" is
+           bounded by OS pipe capacity (typically ~64 KiB): a send
+           larger than the worker can buffer blocks until the worker
+           drains it, so keeping *many* large batches in flight can
+           stall the submit.  The ``shm`` transport puts the payload in
+           a shared-memory ring and only a tiny descriptor on the pipe,
+           so pipelining ``max_inflight`` batches deep is always safe
+           (a full ring degrades to the pipe path, it never blocks on
+           worker progress).
         """
         if self._closed:
             raise RuntimeError("ShardedDetectorPool is closed")
@@ -795,14 +1011,15 @@ class ShardedDetectorPool:
             sent: List[int] = []
             try:
                 for shard in active:
-                    packed = pack_alert_columns(sub_batches[shard])
-                    delivered = self._workers[shard].send("observe", packed)
+                    payload, delivered = self._send_observe(
+                        shard, sub_batches[shard]
+                    )
                     sent.append(shard)
                     if self._supervised:
                         # Remember the payload whether or not the send
                         # reached a live worker: a swallowed send to a
                         # dead worker is exactly what the heal replays.
-                        self._replay_log[shard].append(packed)
+                        self._replay_log[shard].append(payload)
                         self._unacked[shard] += 1
                     if delivered:
                         self.alerts_routed[shard] += len(sub_batches[shard])
@@ -814,12 +1031,13 @@ class ShardedDetectorPool:
                 # here (keeping the busy telemetry the workers report),
                 # then surface the original error.
                 for shard in sent:
-                    status, payload = self._workers[shard].receive()
+                    status, reply = self._workers[shard].receive()
+                    self._finish_transit(shard, status)
                     if self._supervised and self._unacked[shard] > 0:
                         self._unacked[shard] -= 1
                     if status == "ok":
-                        self.busy_seconds[shard] += payload[1]
-                        self.kernel_seconds[shard] += payload[2]
+                        self.busy_seconds[shard] += reply[1]
+                        self.kernel_seconds[shard] += reply[2]
                 raise
         else:
             for shard in active:
@@ -919,6 +1137,7 @@ class ShardedDetectorPool:
         every exit path stays consistent.
         """
         status, payload = self._workers[shard].receive()
+        self._finish_transit(shard, status)
         if status == "dead" and self._supervised:
             status, payload = self._heal_shard(shard, str(payload))
         if self._supervised:
@@ -960,9 +1179,7 @@ class ShardedDetectorPool:
             healed = False
             reply: Optional[Tuple[str, object]] = None
             try:
-                worker: Optional[_ProcessShard] = _ProcessShard(
-                    shard, self.detector_factory
-                )
+                worker: Optional[_ProcessShard] = self._spawn_worker(shard)
             except Exception:  # pragma: no cover - spawn failure
                 worker = None
             if worker is not None:
@@ -993,10 +1210,18 @@ class ShardedDetectorPool:
         taken yet), re-submits every logged payload in FIFO order, and
         consumes replies up to and including the oldest unacknowledged
         one -- replies for *newer* unacknowledged payloads are left on
-        the pipe for the collects that own them.  Returns ``(reply,
-        True)`` on success, ``(None, False)`` if the fresh worker died
-        too (the caller retries within the restart budget).
+        the pipe for the collects that own them.  With the shm
+        transport the shard's ring is reset wholesale first (the dead
+        worker consumed nothing that matters any more) and the logged
+        encodings are re-written into it FIFO with fresh descriptor
+        sequence numbers, so the healed worker replays the exact bytes
+        the dead one was sent.  Returns ``(reply, True)`` on success,
+        ``(None, False)`` if the fresh worker died too (the caller
+        retries within the restart budget).
         """
+        if self._rings:
+            self._rings[shard].reset()
+            self._transit[shard].clear()
         if self._shard_snapshots[shard] is not None:
             if not worker.send("restore", self._shard_snapshots[shard]):
                 return None, False
@@ -1005,7 +1230,7 @@ class ShardedDetectorPool:
                 return None, False
         log = self._replay_log[shard]
         for payload in log:
-            if not worker.send("observe", payload):
+            if not self._resend_payload(worker, shard, payload):
                 return None, False
         acked_replays = len(log) - self._unacked[shard]
         reply: Optional[Tuple[str, object]] = None
@@ -1013,6 +1238,7 @@ class ShardedDetectorPool:
             status, payload = worker.receive()
             if status in ("dead", "timeout"):
                 return None, False
+            self._finish_transit(shard, status)
             if position < acked_replays:
                 if status == "ok":
                     self.busy_seconds[shard] += payload[1]
@@ -1020,6 +1246,28 @@ class ShardedDetectorPool:
             else:
                 reply = (status, payload)
         return reply, True
+
+    def _resend_payload(self, worker: _ProcessShard, shard: int, payload) -> bool:
+        """Re-drive one replay-log payload into a healed worker.
+
+        Encoded-bytes payloads go back through the ring when they fit
+        (fresh seq, same FIFO order) and over the pipe otherwise;
+        packed-columns payloads (codec fallbacks) always take the pipe,
+        exactly as the original submission did.
+        """
+        if isinstance(payload, (bytes, bytearray)) and self._rings:
+            offset = self._rings[shard].write(payload)
+            if offset is not None:
+                self._ring_seq += 1
+                delivered = worker.send(
+                    "observe_shm", (offset, len(payload), self._ring_seq)
+                )
+                self._transit[shard].append((offset, len(payload)))
+                return delivered
+        delivered = worker.send("observe", payload)
+        if self._transit:
+            self._transit[shard].append(None)
+        return delivered
 
     def _maybe_refresh_snapshot(self, shard: int) -> None:
         """Refresh a shard's recovery snapshot once it is safe and due.
@@ -1064,7 +1312,8 @@ class ShardedDetectorPool:
             ticket = self._pending.popleft()
             if self.backend == "process":
                 for shard in ticket.active:
-                    self._workers[shard].receive(timeout=timeout)
+                    status, _ = self._workers[shard].receive(timeout=timeout)
+                    self._finish_transit(shard, status)
         return drained
 
     def _require_idle(self, operation: str) -> None:
@@ -1184,6 +1433,8 @@ class ShardedDetectorPool:
         else:
             detector = self.detector_factory()
         for payload in self._replay_log[shard]:
+            if isinstance(payload, (bytes, bytearray)):
+                payload = decode_alert_columns(payload)
             batch = unpack_alert_columns(payload)
             observe_batch = getattr(detector, "observe_batch", None)
             if observe_batch is not None:
@@ -1341,10 +1592,15 @@ class ShardedDetectorPool:
             for worker in self._workers:
                 worker.close()
             self._workers = []
+            # Rings are per-shard-slot plumbing: tear the old layout's
+            # segments down (unlink) and build fresh ones at the new
+            # width before the workers that attach to them spawn.
+            self._teardown_rings()
             spawned: List[_ProcessShard] = []
             try:
+                self._build_rings(new_n)
                 for shard in range(new_n):
-                    spawned.append(_ProcessShard(shard, factory))
+                    spawned.append(self._spawn_worker(shard))
                 delivered = [
                     worker.send("restore", blob)
                     for worker, blob in zip(spawned, blobs)
@@ -1366,6 +1622,7 @@ class ShardedDetectorPool:
             except Exception:
                 for worker in spawned:
                     worker.close()
+                self._teardown_rings()
                 raise
             self._workers = spawned
             self._closed = False
@@ -1557,13 +1814,16 @@ class ShardedDetectorPool:
                 for worker in self._workers:
                     worker.close()
             self._workers = []
+            self._teardown_rings()
             fresh: List[_ProcessShard] = []
             try:
+                self._build_rings()
                 for shard in range(self.n_shards):
-                    fresh.append(_ProcessShard(shard, self.detector_factory))
+                    fresh.append(self._spawn_worker(shard))
             except Exception:
                 for worker in fresh:
                     worker.close()
+                self._teardown_rings()
                 raise
             self._workers = fresh
             self._closed = False
@@ -1598,6 +1858,9 @@ class ShardedDetectorPool:
         self._closed = True
         escalations = tuple(worker.close(timeout=timeout) for worker in self._workers)
         self._workers = []
+        # Workers are gone (clean, terminated, or killed): the owner
+        # unlinks every ring segment so nothing survives in /dev/shm.
+        self._teardown_rings()
         return PoolCloseResult(
             backend=self.backend,
             escalations=escalations,
@@ -1630,4 +1893,5 @@ __all__ = [
     "ShardRecoveryError",
     "ShardWorkerError",
     "shard_of",
+    "TRANSPORTS",
 ]

@@ -3,15 +3,83 @@
 Expensive objects (the full synthetic corpus, trained parameters, the
 honeypot) are built once per session; tests that mutate state build
 their own instances.
+
+The shared-memory transport additionally arms an autouse leak hunter:
+every test runs between two snapshots of the ``/dev/shm`` ring
+segments and of the parent-side resource-tracker registrations, so any
+lifecycle path that forgets to ``unlink()`` a ring (close, escalated
+close, reshard, crash+heal, ``__exit__`` on error, ...) fails the test
+that leaked it rather than surfacing as a tracker warning at exit.
 """
 
 from __future__ import annotations
+
+import multiprocessing.resource_tracker as _resource_tracker
+import os
 
 import pytest
 
 from repro.core import DEFAULT_VOCABULARY, train_from_incidents
 from repro.incidents import DEFAULT_CATALOGUE, IncidentGenerator
 from repro.testbed import Honeypot, build_default_topology
+from repro.testbed.shm_ring import SEGMENT_PREFIX
+
+# -- shm leak hunting -------------------------------------------------
+#
+# ``SharedMemory`` registers segments with the resource tracker under
+# their leading-slash posix name; wrapping register/unregister at
+# import time lets the fixture assert that every ring created in the
+# parent process was balanced by an unlink before the test ended --
+# which is exactly the condition for "no resource_tracker warnings at
+# interpreter exit".  Only ring-prefixed names are tracked; all other
+# shared memory is passed through untouched.
+
+_LIVE_RING_REGISTRATIONS: set = set()
+_original_register = _resource_tracker.register
+_original_unregister = _resource_tracker.unregister
+
+
+def _tracking_register(name, rtype):
+    if rtype == "shared_memory" and SEGMENT_PREFIX in name:
+        _LIVE_RING_REGISTRATIONS.add(name)
+    return _original_register(name, rtype)
+
+
+def _tracking_unregister(name, rtype):
+    if rtype == "shared_memory" and SEGMENT_PREFIX in name:
+        _LIVE_RING_REGISTRATIONS.discard(name)
+    return _original_unregister(name, rtype)
+
+
+_resource_tracker.register = _tracking_register
+_resource_tracker.unregister = _tracking_unregister
+
+
+def ring_segments_on_disk() -> set:
+    """Names of ring segments currently backing files in ``/dev/shm``."""
+    try:
+        return {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(SEGMENT_PREFIX)
+        }
+    except OSError:  # pragma: no cover - non-POSIX /dev/shm layout
+        return set()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_ring_segments():
+    """Fail any test that leaks a ring segment or tracker registration."""
+    disk_before = ring_segments_on_disk()
+    tracked_before = set(_LIVE_RING_REGISTRATIONS)
+    yield
+    leaked = ring_segments_on_disk() - disk_before
+    assert not leaked, f"leaked /dev/shm ring segment(s): {sorted(leaked)}"
+    dangling = _LIVE_RING_REGISTRATIONS - tracked_before
+    assert not dangling, (
+        "ring segment(s) left registered with the resource tracker "
+        f"(unlink never ran): {sorted(dangling)}"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -121,10 +121,15 @@ class TestDifferentialOracle:
         assert verdict.reference.counters["filtered_alerts"] > 0
 
     def test_matrix_shapes(self):
-        assert len(full_matrix()) == 72
-        labels = {config.label for config in full_matrix()}
-        assert len(labels) == 72
-        assert OracleConfig.parse("naive:4:process:raw_stream") in full_matrix()
+        # 72 pickle configs + the shm variant of every process config.
+        matrix = full_matrix()
+        assert len(matrix) == 108
+        labels = {config.label for config in matrix}
+        assert len(labels) == 108
+        assert OracleConfig.parse("naive:4:process:raw_stream") in matrix
+        assert OracleConfig.parse("naive:4:process:raw_stream:shm") in matrix
+        assert sum(1 for c in matrix if c.transport == "shm") == 36
+        assert all(c.backend == "process" for c in matrix if c.transport == "shm")
 
     def test_oracle_flags_a_seeded_fault(self):
         """A detector-visible fault must surface as a divergence.

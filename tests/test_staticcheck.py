@@ -362,6 +362,107 @@ class TestSemiringDisciplineRule:
 
 
 # ---------------------------------------------------------------------------
+# shm-lifecycle
+# ---------------------------------------------------------------------------
+class TestShmLifecycleRule:
+    def test_flags_owner_without_close_path_unlink(self):
+        findings = check(
+            """
+            from multiprocessing import shared_memory
+
+            class LeakyRing:
+                def __init__(self):
+                    self._segment = shared_memory.SharedMemory(
+                        name="x", create=True, size=64
+                    )
+
+                def close(self):
+                    self._segment.close()  # unmap only: still linked!
+
+            class UnlinkOffThePath:
+                def __init__(self):
+                    self._segment = shared_memory.SharedMemory(
+                        name="y", create=True, size=64
+                    )
+
+                def poke(self):
+                    self._segment.unlink()  # not a close-path method
+            """,
+            "testbed/mod.py",
+            "shm-lifecycle",
+        )
+        assert len(findings) == 2
+        assert all(f.rule == "shm-lifecycle" for f in findings)
+        assert "leaks in /dev/shm" in findings[0].message
+
+    def test_allows_owner_with_unlink_and_reader_attach(self):
+        findings = check(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            class OwnedRing:
+                def __init__(self):
+                    self._segment = SharedMemory(name="x", create=True, size=64)
+
+                def close(self):
+                    self._segment.close()
+                    self._segment.unlink()
+
+            class ReaderRing:
+                def __init__(self, name):
+                    self._segment = SharedMemory(name=name)  # attach only
+
+                def close(self):
+                    self._segment.close()  # readers must NOT unlink
+            """,
+            "testbed/mod.py",
+            "shm-lifecycle",
+        )
+        assert findings == []
+
+    def test_module_level_creation_audits_the_module(self):
+        flagged = check(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def build(name):
+                return SharedMemory(name=name, create=True, size=64)
+            """,
+            "testbed/mod.py",
+            "shm-lifecycle",
+        )
+        assert len(flagged) == 1
+        clean = check(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def build(name):
+                return SharedMemory(name=name, create=True, size=64)
+
+            def teardown(segment):
+                segment.close()
+                segment.unlink()
+            """,
+            "testbed/mod.py",
+            "shm-lifecycle",
+        )
+        assert clean == []
+
+    def test_scoped_to_testbed(self):
+        findings = check(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def build(name):
+                return SharedMemory(name=name, create=True, size=64)
+            """,
+            "core/mod.py",
+            "shm-lifecycle",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # suppressions
 # ---------------------------------------------------------------------------
 class TestSuppressions:
